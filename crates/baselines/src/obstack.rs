@@ -1,0 +1,300 @@
+//! GNU-obstacks-style stack allocator.
+//!
+//! The custom manager the paper compares against on the 3D-rendering case
+//! study "due to its stack-like allocation behaviour in some phases of its
+//! execution". Objects bump-allocate into growing chunks; only the most
+//! recently allocated live object can actually be popped, so non-LIFO frees
+//! are recorded as *dead* but their memory stays resident until everything
+//! above them dies too — precisely why "Obstacks cannot exploit its
+//! stack-like optimizations in the final phases of the rendering process"
+//! and pays a footprint penalty there.
+
+use std::collections::HashMap;
+
+use dmm_core::error::{Error, Result};
+use dmm_core::heap::Arena;
+use dmm_core::manager::{Allocator, BlockHandle};
+use dmm_core::metrics::AllocStats;
+use dmm_core::units::{align_up, MIN_ALIGN, POINTER_BYTES, SIZE_FIELD_BYTES};
+
+/// Chunk size, as in GNU obstacks' default `obstack_chunk_size` (4096);
+/// objects larger than a chunk get a dedicated, exactly-sized chunk.
+const INITIAL_CHUNK: usize = 4096;
+/// Per-chunk header (next pointer + limit), as in GNU obstacks.
+const CHUNK_HEADER: usize = 2 * POINTER_BYTES + SIZE_FIELD_BYTES;
+
+#[derive(Debug, Clone, Copy)]
+struct Object {
+    offset: usize,
+    len: usize,
+    req: usize,
+    dead: bool,
+}
+
+#[derive(Debug)]
+struct Chunk {
+    base: usize,
+    len: usize,
+    bump: usize,
+    objects: Vec<Object>,
+}
+
+/// Hand-rolled obstack allocator.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_baselines::ObstackAllocator;
+/// use dmm_core::manager::Allocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ob = ObstackAllocator::new();
+/// let a = ob.alloc(100)?;
+/// let b = ob.alloc(100)?;
+/// ob.free(b)?; // LIFO pop: memory reclaimed immediately
+/// ob.free(a)?;
+/// assert_eq!(ob.footprint(), 0, "all chunks released");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ObstackAllocator {
+    arena: Arena,
+    chunks: Vec<Chunk>,
+    by_offset: HashMap<usize, (usize, usize)>, // offset -> (chunk idx, obj idx)
+    next_chunk: usize,
+    stats: AllocStats,
+}
+
+impl Default for ObstackAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObstackAllocator {
+    /// A fresh obstack.
+    pub fn new() -> Self {
+        ObstackAllocator {
+            arena: Arena::unbounded(),
+            chunks: Vec::new(),
+            by_offset: HashMap::new(),
+            next_chunk: INITIAL_CHUNK,
+            stats: AllocStats::default(),
+        }
+    }
+
+    fn sync(&mut self) {
+        self.stats.set_system(self.arena.brk(), POINTER_BYTES);
+    }
+
+    /// Pop trailing dead objects and empty chunks, shrinking the arena.
+    fn lazy_pop(&mut self) {
+        loop {
+            let Some(chunk) = self.chunks.last_mut() else {
+                return;
+            };
+            while let Some(obj) = chunk.objects.last() {
+                if !obj.dead {
+                    return;
+                }
+                chunk.bump = obj.offset - chunk.base;
+                self.by_offset.remove(&obj.offset);
+                chunk.objects.pop();
+                self.stats.search_steps += 1;
+            }
+            if chunk.objects.is_empty() {
+                let base = chunk.base;
+                self.chunks.pop();
+                self.arena.trim(base);
+                self.stats.trims += 1;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Bytes held by dead-but-unreclaimable objects (the non-LIFO penalty).
+    pub fn trapped_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.objects.iter())
+            .filter(|o| o.dead)
+            .map(|o| o.len)
+            .sum()
+    }
+}
+
+impl Allocator for ObstackAllocator {
+    fn name(&self) -> &str {
+        "Obstacks"
+    }
+
+    fn alloc(&mut self, req: usize) -> Result<BlockHandle> {
+        let req = req.max(1);
+        let len = align_up(req, MIN_ALIGN);
+        self.stats.search_steps += 1;
+        let fits = self
+            .chunks
+            .last()
+            .map(|c| c.bump + len <= c.len)
+            .unwrap_or(false);
+        if !fits {
+            // New chunk: fixed default size; large objects get their own
+            // exactly-sized chunk (GNU obstacks behaviour).
+            let chunk_len = align_up(self.next_chunk.max(len + CHUNK_HEADER), MIN_ALIGN);
+            let base = self.arena.sbrk(chunk_len)?;
+            self.stats.sbrk_calls += 1;
+            self.chunks.push(Chunk {
+                base,
+                len: chunk_len,
+                bump: CHUNK_HEADER,
+                objects: Vec::new(),
+            });
+        }
+        let chunk_idx = self.chunks.len() - 1;
+        let chunk = &mut self.chunks[chunk_idx];
+        let offset = chunk.base + chunk.bump;
+        chunk.bump += len;
+        chunk.objects.push(Object {
+            offset,
+            len,
+            req,
+            dead: false,
+        });
+        self.by_offset
+            .insert(offset, (chunk_idx, chunk.objects.len() - 1));
+        self.stats.on_alloc(req, len);
+        self.sync();
+        Ok(BlockHandle::new(offset, 0))
+    }
+
+    fn free(&mut self, handle: BlockHandle) -> Result<()> {
+        let offset = handle.offset();
+        let (ci, oi) = self
+            .by_offset
+            .get(&offset)
+            .copied()
+            .ok_or(Error::InvalidFree { offset })?;
+        let obj = &mut self.chunks[ci].objects[oi];
+        if obj.dead {
+            return Err(Error::InvalidFree { offset });
+        }
+        obj.dead = true;
+        let (req, len) = (obj.req, obj.len);
+        self.stats.on_free(req, len);
+        self.stats.search_steps += 1;
+        self.lazy_pop();
+        self.sync();
+        Ok(())
+    }
+
+    fn footprint(&self) -> usize {
+        self.arena.brk()
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    fn reset(&mut self) {
+        *self = ObstackAllocator::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_frees_reclaim_immediately() {
+        let mut ob = ObstackAllocator::new();
+        let hs: Vec<_> = (0..32).map(|_| ob.alloc(100).unwrap()).collect();
+        let peak = ob.footprint();
+        for h in hs.into_iter().rev() {
+            ob.free(h).unwrap();
+        }
+        assert_eq!(ob.footprint(), 0);
+        assert!(ob.stats().trims >= 1);
+        assert!(peak > 0);
+    }
+
+    #[test]
+    fn non_lifo_frees_trap_memory() {
+        let mut ob = ObstackAllocator::new();
+        let a = ob.alloc(1000).unwrap();
+        let b = ob.alloc(1000).unwrap(); // sits above `a`
+        ob.free(a).unwrap();
+        assert!(ob.trapped_bytes() >= 1000, "a is dead but trapped under b");
+        let fp = ob.footprint();
+        assert!(fp > 0);
+        ob.free(b).unwrap(); // now both pop
+        assert_eq!(ob.trapped_bytes(), 0);
+        assert_eq!(ob.footprint(), 0);
+    }
+
+    #[test]
+    fn fixed_chunks_grow_and_release() {
+        let mut ob = ObstackAllocator::new();
+        let hs: Vec<_> = (0..200).map(|_| ob.alloc(256).unwrap()).collect();
+        // 200 x 256 B in 4 KiB chunks: ~13 chunks, low overshoot.
+        assert!(ob.stats().sbrk_calls >= 13);
+        assert!(ob.footprint() <= 200 * 256 + 16 * 4096 / 2);
+        for h in hs.into_iter().rev() {
+            ob.free(h).unwrap();
+        }
+        assert_eq!(ob.footprint(), 0);
+    }
+
+    #[test]
+    fn oversized_objects_get_their_own_chunk() {
+        let mut ob = ObstackAllocator::new();
+        let h = ob.alloc(100_000).unwrap();
+        assert!(ob.footprint() >= 100_000);
+        ob.free(h).unwrap();
+        assert_eq!(ob.footprint(), 0);
+    }
+
+    #[test]
+    fn interleaved_random_frees_eventually_release_everything() {
+        let mut ob = ObstackAllocator::new();
+        let mut live: Vec<BlockHandle> = Vec::new();
+        let mut x: u64 = 0xFEEDFACE;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if live.is_empty() || x % 3 != 0 {
+                live.push(ob.alloc(16 + (x % 500) as usize).unwrap());
+            } else {
+                let idx = (x as usize) % live.len();
+                ob.free(live.swap_remove(idx)).unwrap();
+            }
+        }
+        for h in live {
+            ob.free(h).unwrap();
+        }
+        assert_eq!(ob.stats().live_requested, 0);
+        assert_eq!(ob.footprint(), 0, "all dead objects must pop in the end");
+        assert_eq!(ob.trapped_bytes(), 0);
+    }
+
+    #[test]
+    fn stack_phase_beats_random_phase_on_trapped_bytes() {
+        // The rendering-case-study effect: stack-like phase leaves nothing
+        // trapped; a random-order phase traps plenty at its worst point.
+        let mut ob = ObstackAllocator::new();
+        let hs: Vec<_> = (0..64).map(|_| ob.alloc(512).unwrap()).collect();
+        let mut worst_trapped = 0;
+        // Free even indices first (non-LIFO), tracking trapped bytes.
+        for h in hs.iter().step_by(2) {
+            ob.free(*h).unwrap();
+            worst_trapped = worst_trapped.max(ob.trapped_bytes());
+        }
+        assert!(worst_trapped > 10 * 512);
+        for h in hs.iter().skip(1).step_by(2) {
+            ob.free(*h).unwrap();
+        }
+        assert_eq!(ob.footprint(), 0);
+    }
+}

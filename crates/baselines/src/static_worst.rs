@@ -1,0 +1,151 @@
+//! The static worst-case pool — the no-DM strawman of the introduction.
+//!
+//! "Designing embedded systems for the (static) worst case memory footprint
+//! … would lead to a too high overhead in memory footprint": this manager
+//! reserves its whole capacity up front, so its footprint is a constant
+//! regardless of the live set, and it simply fails when the worst-case
+//! estimate is exceeded. The motivation experiment compares it against DM
+//! managers on the same traces.
+
+use dmm_core::error::Result;
+use dmm_core::manager::{Allocator, BlockHandle, PolicyAllocator};
+use dmm_core::metrics::AllocStats;
+use dmm_core::space::presets;
+
+/// A statically pre-reserved memory pool.
+///
+/// Internally the pool is managed by a best-effort allocator (splitting and
+/// coalescing), but the *reported footprint never drops below the static
+/// reservation* — the whole point of the comparison.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_baselines::StaticWorstCase;
+/// use dmm_core::manager::Allocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut s = StaticWorstCase::with_capacity(1 << 20);
+/// assert_eq!(s.footprint(), 1 << 20, "reserved before any allocation");
+/// let h = s.alloc(100)?;
+/// assert_eq!(s.footprint(), 1 << 20, "constant footprint");
+/// s.free(h)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StaticWorstCase {
+    inner: PolicyAllocator,
+    capacity: usize,
+    stats: AllocStats,
+}
+
+impl StaticWorstCase {
+    /// Reserve `capacity` bytes up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a static pool needs a capacity");
+        let mut cfg = presets::drr_paper();
+        cfg.name = "static pool engine".into();
+        cfg.params.arena_limit = Some(capacity);
+        cfg.params.trim_threshold = None; // the reservation never shrinks
+        let inner = PolicyAllocator::new(cfg).expect("static pool config is valid");
+        let mut s = StaticWorstCase {
+            inner,
+            capacity,
+            stats: AllocStats::default(),
+        };
+        s.sync();
+        s
+    }
+
+    /// The static reservation in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn sync(&mut self) {
+        let inner = self.inner.stats().clone();
+        self.stats = inner;
+        // Footprint is the full reservation, always.
+        self.stats.system = self.capacity;
+        self.stats.peak_footprint = self.capacity;
+    }
+}
+
+impl Allocator for StaticWorstCase {
+    fn name(&self) -> &str {
+        "static worst-case"
+    }
+
+    fn alloc(&mut self, req: usize) -> Result<BlockHandle> {
+        let h = self.inner.alloc(req)?;
+        self.sync();
+        Ok(h)
+    }
+
+    fn free(&mut self, handle: BlockHandle) -> Result<()> {
+        self.inner.free(handle)?;
+        self.sync();
+        Ok(())
+    }
+
+    fn footprint(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmm_core::error::Error;
+
+    #[test]
+    fn footprint_is_constant() {
+        let mut s = StaticWorstCase::with_capacity(64 * 1024);
+        assert_eq!(s.footprint(), 64 * 1024);
+        let hs: Vec<_> = (0..32).map(|_| s.alloc(512).unwrap()).collect();
+        assert_eq!(s.footprint(), 64 * 1024);
+        for h in hs {
+            s.free(h).unwrap();
+        }
+        assert_eq!(s.footprint(), 64 * 1024);
+        assert_eq!(s.stats().peak_footprint, 64 * 1024);
+    }
+
+    #[test]
+    fn exceeding_the_worst_case_fails() {
+        let mut s = StaticWorstCase::with_capacity(8 * 1024);
+        let _a = s.alloc(7000).unwrap();
+        let err = s.alloc(2000).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn memory_recycles_inside_the_pool() {
+        let mut s = StaticWorstCase::with_capacity(8 * 1024);
+        for _ in 0..100 {
+            let h = s.alloc(6000).unwrap();
+            s.free(h).unwrap();
+        }
+        assert_eq!(s.stats().live_requested, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = StaticWorstCase::with_capacity(0);
+    }
+}

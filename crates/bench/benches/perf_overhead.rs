@@ -1,0 +1,101 @@
+//! Criterion benches for the Section 5 performance claim: the custom
+//! manager's execution-time overhead vs. the fastest general-purpose
+//! manager (Kingsley), measured by replaying identical recorded traces
+//! through every manager.
+//!
+//! Run with `cargo bench -p dmm-bench` — a report is printed per manager;
+//! the paper's claim is a ~10% overhead of the custom manager over
+//! Kingsley, with all managers well inside real-time budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmm_baselines::{KingsleyAllocator, LeaAllocator, ObstackAllocator, RegionAllocator};
+use dmm_core::manager::PolicyAllocator;
+use dmm_core::methodology::Methodology;
+use dmm_core::profile::Profile;
+use dmm_core::space::DmConfig;
+use dmm_core::trace::{replay, Trace};
+use dmm_workloads::{DrrWorkload, RenderWorkload, Workload};
+
+fn design(trace: &Trace) -> DmConfig {
+    Methodology::new()
+        .with_name("our DM manager")
+        .explore(trace)
+        .expect("exploration succeeds")
+        .config
+}
+
+fn bench_trace(c: &mut Criterion, group_name: &str, trace: &Trace) {
+    let profile = Profile::of(trace);
+    let custom_cfg = design(trace);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::from_parameter("Kingsley"), |b| {
+        b.iter(|| {
+            let mut m = KingsleyAllocator::with_initial_region(64 * 1024);
+            replay(trace, &mut m).expect("replay").peak_footprint
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("Lea"), |b| {
+        b.iter(|| {
+            let mut m = LeaAllocator::new();
+            replay(trace, &mut m).expect("replay").peak_footprint
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("Regions"), |b| {
+        b.iter(|| {
+            let mut m = RegionAllocator::with_profile(&profile);
+            replay(trace, &mut m).expect("replay").peak_footprint
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("Obstacks"), |b| {
+        b.iter(|| {
+            let mut m = ObstackAllocator::new();
+            replay(trace, &mut m).expect("replay").peak_footprint
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("our DM manager"), |b| {
+        b.iter(|| {
+            let mut m = PolicyAllocator::new(custom_cfg.clone()).expect("valid config");
+            replay(trace, &mut m).expect("replay").peak_footprint
+        })
+    });
+    group.finish();
+}
+
+fn perf_overhead_drr(c: &mut Criterion) {
+    let trace = DrrWorkload::quick(0).record().expect("record");
+    bench_trace(c, "perf_overhead_drr", &trace);
+}
+
+fn perf_overhead_render(c: &mut Criterion) {
+    let trace = RenderWorkload::quick(0).record().expect("record");
+    bench_trace(c, "perf_overhead_render", &trace);
+}
+
+fn methodology_cost(c: &mut Criterion) {
+    // How long one full tree traversal (the design-time cost the paper
+    // quotes as "two weeks by hand" vs. automated exploration) takes.
+    let trace = DrrWorkload::quick(0).record().expect("record");
+    let mut group = c.benchmark_group("methodology");
+    group.sample_size(10);
+    group.bench_function("explore_drr_quick", |b| {
+        b.iter(|| {
+            Methodology::new()
+                .explore(&trace)
+                .expect("exploration succeeds")
+                .footprint
+                .peak_footprint
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    perf_overhead_drr,
+    perf_overhead_render,
+    methodology_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates **Figure 1**: the DM-management search space taxonomy,
+//! printed from the live type model.
+//!
+//! Usage: `cargo run -p dmm-bench --bin fig1_space`
+
+fn main() {
+    print!("{}", dmm_bench::fig1_space_text());
+}

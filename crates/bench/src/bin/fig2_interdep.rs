@@ -1,0 +1,8 @@
+//! Regenerates **Figure 2**: the interdependency arrows between the
+//! orthogonal trees, printed from the live rule engine.
+//!
+//! Usage: `cargo run -p dmm-bench --bin fig2_interdep`
+
+fn main() {
+    print!("{}", dmm_bench::fig2_interdep_text());
+}

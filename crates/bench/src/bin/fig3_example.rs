@@ -1,0 +1,8 @@
+//! Regenerates **Figure 3**: the `A3 = none` constraint-propagation
+//! cascade, computed live.
+//!
+//! Usage: `cargo run -p dmm-bench --bin fig3_example`
+
+fn main() {
+    print!("{}", dmm_bench::fig3_example_text());
+}

@@ -1,0 +1,17 @@
+//! Regenerates the **Figure 4** experiment: the paper's traversal order
+//! vs. a myopic A3-first designer on the DRR trace.
+//!
+//! Usage: `cargo run -p dmm-bench --release --bin fig4_order_ablation
+//! [--quick] [--csv]`
+
+
+
+fn main() {
+    let opts = dmm_bench::opts::parse();
+    let table = dmm_bench::fig4_order_ablation(opts.quick).expect("figure 4 harness failed");
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_ascii());
+    }
+}

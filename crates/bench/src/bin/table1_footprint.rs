@@ -1,0 +1,18 @@
+//! Regenerates **Table 1**: maximum memory footprint (bytes) of every
+//! manager on the three case studies.
+//!
+//! Usage: `cargo run -p dmm-bench --release --bin table1_footprint
+//! [--quick] [--csv] [--seeds=N]`
+
+
+
+fn main() {
+    let opts = dmm_bench::opts::parse();
+    let table = dmm_bench::table1_footprint(opts.seeds, opts.quick)
+        .expect("table 1 harness failed");
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_ascii());
+    }
+}

@@ -1,0 +1,46 @@
+//! The footprint/performance trade-off sweep the paper's conclusion
+//! promises ("improving performance consuming a little more memory
+//! footprint"): the weighted methodology objective at several step
+//! weights, on the DRR trace.
+//!
+//! Usage: `cargo run -p dmm-bench --release --bin tradeoff_curve [--quick] [--csv]`
+
+use dmm_core::methodology::tradeoff_curve;
+use dmm_report::{Cell, Table};
+use dmm_workloads::{DrrWorkload, Workload};
+
+fn main() {
+    let opts = dmm_bench::opts::parse();
+    let workload = if opts.quick {
+        DrrWorkload::quick(0)
+    } else {
+        DrrWorkload::case_study(0)
+    };
+    let trace = workload.record().expect("record");
+    let weights = [0.0, 0.05, 0.2, 1.0, 5.0];
+    let points = tradeoff_curve(&trace, &weights).expect("sweep");
+    let mut table = Table::new(
+        "Trade-off sweep: step weight vs footprint vs search steps (DRR)",
+        vec![
+            "step weight".into(),
+            "peak footprint".into(),
+            "search steps".into(),
+            "fit / structure chosen".into(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            format!("{}", p.step_weight),
+            vec![
+                Cell::Bytes(p.peak_footprint),
+                Cell::Number(p.search_steps as f64),
+                Cell::Text(format!("{} / {}", p.config.fit, p.config.block_structure)),
+            ],
+        );
+    }
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_ascii());
+    }
+}

@@ -1,0 +1,424 @@
+//! # dmm-cli
+//!
+//! Library backing the `dmm` command-line tool: each subcommand is a
+//! function from parsed arguments to rendered text, so the whole surface
+//! is unit-testable without spawning processes.
+//!
+//! Subcommands:
+//!
+//! - `space` — print the decision-tree taxonomy (Figure 1);
+//! - `interdep` — print the interdependency rules and arrows (Figure 2);
+//! - `profile <workload>` — profile a case study's DM behaviour;
+//! - `explore <workload>` — run the methodology and show the decision log;
+//! - `compare <workload>` — footprint table of every manager;
+//! - `help` — usage.
+//!
+//! Workloads: `drr`, `recon`, `render` (add `--full` for paper scale,
+//! `--seed=N` to change the input).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Write as _;
+
+use dmm_baselines::{KingsleyAllocator, LeaAllocator, ObstackAllocator, RegionAllocator};
+use dmm_core::error::{Error, Result};
+use dmm_core::manager::{Allocator, PolicyAllocator};
+use dmm_core::methodology::Methodology;
+use dmm_core::profile::Profile;
+use dmm_core::space::interdep;
+use dmm_core::space::trees::{Category, TreeId};
+use dmm_core::trace::replay;
+use dmm_report::{Cell, Table};
+use dmm_workloads::{DrrWorkload, ReconWorkload, RenderWorkload, Workload};
+
+/// Parsed command-line invocation.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// Subcommand name.
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--full` flag: paper-scale workloads.
+    pub full: bool,
+    /// `--seed=N` option.
+    pub seed: u64,
+}
+
+impl Invocation {
+    /// Parse raw arguments (without the program name).
+    pub fn parse(args: &[String]) -> Invocation {
+        let mut command = String::from("help");
+        let mut positional = Vec::new();
+        let mut full = false;
+        let mut seed = 0u64;
+        let mut seen_command = false;
+        for a in args {
+            if a == "--full" {
+                full = true;
+            } else if let Some(s) = a.strip_prefix("--seed=") {
+                seed = s.parse().unwrap_or(0);
+            } else if !seen_command {
+                command = a.clone();
+                seen_command = true;
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Invocation {
+            command,
+            positional,
+            full,
+            seed,
+        }
+    }
+}
+
+fn workload(inv: &Invocation) -> Result<Box<dyn Workload>> {
+    let name = inv.positional.first().map(String::as_str).unwrap_or("drr");
+    let w: Box<dyn Workload> = match (name, inv.full) {
+        ("drr", false) => Box::new(DrrWorkload::quick(inv.seed)),
+        ("drr", true) => Box::new(DrrWorkload::case_study(inv.seed)),
+        ("recon", false) => Box::new(ReconWorkload::quick(inv.seed)),
+        ("recon", true) => Box::new(ReconWorkload::case_study(inv.seed)),
+        ("render", false) => Box::new(RenderWorkload::quick(inv.seed)),
+        ("render", true) => Box::new(RenderWorkload::case_study(inv.seed)),
+        (other, _) => {
+            return Err(Error::InvalidConfig(format!(
+                "unknown workload '{other}' (expected drr, recon or render)"
+            )))
+        }
+    };
+    Ok(w)
+}
+
+/// Usage text.
+pub fn help_text() -> String {
+    "dmm — custom dynamic-memory-manager design methodology (DATE 2004)\n\
+     \n\
+     USAGE: dmm <command> [workload] [--full] [--seed=N]\n\
+     \n\
+     COMMANDS:\n\
+       space              print the DM-management decision trees (Figure 1)\n\
+       interdep           print the interdependency rules/arrows (Figure 2)\n\
+       profile <wl>       profile a workload's DM behaviour\n\
+       explore <wl>       design a custom manager for a workload\n\
+       compare <wl>       footprint of every manager on a workload\n\
+       phases <wl>        detect logical phases from DM behaviour alone\n\
+       help               this text\n\
+     \n\
+     WORKLOADS: drr | recon | render  (test scale; add --full for paper scale)\n"
+        .to_string()
+}
+
+/// `dmm space`.
+pub fn space_text() -> String {
+    let mut out = String::new();
+    for category in Category::ALL {
+        let _ = writeln!(out, "{category}");
+        for tree in TreeId::ALL.iter().filter(|t| t.category() == category) {
+            let _ = writeln!(out, "  {tree}");
+            for leaf in tree.leaves() {
+                let _ = writeln!(out, "      - {leaf}");
+            }
+        }
+    }
+    out
+}
+
+/// `dmm interdep`.
+pub fn interdep_text() -> String {
+    let mut out = String::from("hard rules (full arrows):\n");
+    for r in interdep::RULES {
+        let _ = writeln!(out, "  {}: {}", r.id, r.description);
+    }
+    out.push_str("soft arrows (linked purposes):\n");
+    for a in interdep::ARROWS
+        .iter()
+        .filter(|a| a.kind == interdep::ArrowKind::Soft)
+    {
+        let _ = writeln!(out, "  {} --> {}: {}", a.from.code(), a.to.code(), a.why);
+    }
+    out
+}
+
+/// `dmm profile <workload>`.
+///
+/// # Errors
+///
+/// Propagates workload failures.
+pub fn profile_text(inv: &Invocation) -> Result<String> {
+    let w = workload(inv)?;
+    let trace = w.record()?;
+    let p = Profile::of(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name());
+    let _ = writeln!(
+        out,
+        "events: {} ({} allocs, {} frees)",
+        trace.len(),
+        p.allocs,
+        p.frees
+    );
+    let _ = writeln!(out, "distinct sizes: {}", p.histogram.distinct());
+    let _ = writeln!(out, "mean size: {:.1} B", p.histogram.mean());
+    let _ = writeln!(
+        out,
+        "size variability (cv): {:.2}",
+        p.histogram.coefficient_of_variation()
+    );
+    let _ = writeln!(
+        out,
+        "peak live: {} B in {} blocks",
+        p.peak_live_bytes, p.peak_live_count
+    );
+    let _ = writeln!(out, "mean lifetime: {:.1} events", p.lifetimes.mean);
+    for ph in &p.phases {
+        let _ = writeln!(
+            out,
+            "phase {}: {} allocs, peak live {} B, stack-like: {}",
+            ph.phase, ph.allocs, ph.peak_live, ph.stack_like
+        );
+    }
+    let _ = writeln!(out, "top sizes (size x count):");
+    for (s, c) in p.histogram.top_k(8) {
+        let _ = writeln!(out, "  {s:>8} B x {c}");
+    }
+    Ok(out)
+}
+
+/// `dmm explore <workload>`.
+///
+/// # Errors
+///
+/// Propagates workload/exploration failures.
+pub fn explore_text(inv: &Invocation) -> Result<String> {
+    let w = workload(inv)?;
+    let trace = w.record()?;
+    let outcome = Methodology::new().explore(&trace)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name());
+    let _ = writeln!(out, "evaluations: {}", outcome.evaluations);
+    let _ = writeln!(out, "decision log (traversal order of Section 4.2):");
+    for d in &outcome.decisions {
+        let _ = writeln!(out, "  {} -> {}", d.tree.code(), d.chosen);
+        for c in &d.candidates {
+            let marker = if c.leaf == d.chosen { "*" } else { " " };
+            let _ = writeln!(
+                out,
+                "     {marker} {:<28} peak {:>10} B, {:>8} steps",
+                c.leaf.to_string(),
+                c.peak_footprint,
+                c.search_steps
+            );
+        }
+    }
+    let _ = writeln!(out, "\nfinal configuration: {}", outcome.config.summary());
+    let _ = writeln!(
+        out,
+        "peak footprint: {} B (application peak live: {} B)",
+        outcome.footprint.peak_footprint,
+        trace.peak_live_requested()
+    );
+    Ok(out)
+}
+
+/// `dmm compare <workload>`.
+///
+/// # Errors
+///
+/// Propagates workload/exploration failures.
+pub fn compare_text(inv: &Invocation) -> Result<String> {
+    let w = workload(inv)?;
+    let trace = w.record()?;
+    let profile = Profile::of(&trace);
+    let custom = Methodology::new()
+        .with_name("our DM manager")
+        .explore(&trace)?;
+    let mut managers: Vec<Box<dyn Allocator>> = vec![
+        Box::new(KingsleyAllocator::with_initial_region(if inv.full {
+            2 * 1024 * 1024
+        } else {
+            64 * 1024
+        })),
+        Box::new(LeaAllocator::new()),
+        Box::new(RegionAllocator::with_profile(&profile)),
+        Box::new(ObstackAllocator::new()),
+        Box::new(PolicyAllocator::new(custom.config)?),
+    ];
+    let mut table = Table::new(
+        format!("footprint on {}", w.name()),
+        vec![
+            "manager".into(),
+            "peak footprint".into(),
+            "ours improves by".into(),
+        ],
+    );
+    let mut results = Vec::new();
+    for m in managers.iter_mut() {
+        let fs = replay(&trace, m.as_mut())?;
+        results.push((fs.manager.clone(), fs.peak_footprint));
+    }
+    let ours = results.last().expect("non-empty").1;
+    for (name, peak) in &results {
+        table.push_row(
+            name.clone(),
+            vec![
+                Cell::Bytes(*peak),
+                Cell::Percent(dmm_core::metrics::percent_improvement(ours, *peak)),
+            ],
+        );
+    }
+    Ok(table.to_ascii())
+}
+
+/// `dmm phases <workload>` — detect logical phases from the allocation
+/// behaviour alone and compare with the application's own markers.
+///
+/// # Errors
+///
+/// Propagates workload failures.
+pub fn phases_text(inv: &Invocation) -> Result<String> {
+    use dmm_core::profile::{annotate_phases, detect_phase_boundaries};
+    use dmm_core::trace::{Trace, TraceEvent};
+
+    let w = workload(inv)?;
+    let trace = w.record()?;
+    let announced = trace.phases();
+    // Strip the application's markers, then detect blind.
+    let stripped = Trace::from_events(
+        trace
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| !matches!(e, TraceEvent::Phase { .. }))
+            .collect(),
+    )
+    .expect("stripping markers preserves validity");
+    let bounds = detect_phase_boundaries(&stripped, 32, 0.8);
+    let annotated = annotate_phases(&stripped, 32, 0.8);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name());
+    let _ = writeln!(out, "announced phases: {announced:?}");
+    let _ = writeln!(
+        out,
+        "detected boundaries (event indices): {bounds:?}"
+    );
+    let _ = writeln!(out, "detected phases: {:?}", annotated.phases());
+    for (phase, sub) in annotated.split_phases() {
+        let p = Profile::of(&sub);
+        let _ = writeln!(
+            out,
+            "  phase {phase}: {} allocs, mean size {:.0} B, stack-like: {}",
+            p.allocs,
+            p.histogram.mean(),
+            p.phases.first().map(|x| x.stack_like).unwrap_or(false)
+        );
+    }
+    Ok(out)
+}
+
+/// Dispatch an invocation to its subcommand.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for unknown commands or workloads, and
+/// propagates harness failures.
+pub fn run(inv: &Invocation) -> Result<String> {
+    match inv.command.as_str() {
+        "space" => Ok(space_text()),
+        "interdep" => Ok(interdep_text()),
+        "profile" => profile_text(inv),
+        "explore" => explore_text(inv),
+        "compare" => compare_text(inv),
+        "phases" => phases_text(inv),
+        "help" | "--help" | "-h" => Ok(help_text()),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown command '{other}' — try 'dmm help'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(parts: &[&str]) -> Invocation {
+        Invocation::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = help_text();
+        for cmd in ["space", "interdep", "profile", "explore", "compare"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn parse_flags_and_positionals() {
+        let i = inv(&["explore", "recon", "--seed=7", "--full"]);
+        assert_eq!(i.command, "explore");
+        assert_eq!(i.positional, vec!["recon"]);
+        assert_eq!(i.seed, 7);
+        assert!(i.full);
+    }
+
+    #[test]
+    fn empty_args_default_to_help() {
+        let i = inv(&[]);
+        assert_eq!(i.command, "help");
+        assert!(run(&i).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn space_shows_all_trees() {
+        let s = space_text();
+        for tree in TreeId::ALL {
+            assert!(s.contains(tree.code()));
+        }
+    }
+
+    #[test]
+    fn interdep_shows_rules() {
+        let s = interdep_text();
+        assert!(s.contains("R1a"));
+        assert!(s.contains("-->"));
+    }
+
+    #[test]
+    fn profile_runs_on_quick_drr() {
+        let out = profile_text(&inv(&["profile", "drr"])).unwrap();
+        assert!(out.contains("peak live"));
+        assert!(out.contains("top sizes"));
+    }
+
+    #[test]
+    fn explore_prints_decision_log() {
+        let out = explore_text(&inv(&["explore", "drr"])).unwrap();
+        assert!(out.contains("A2 ->"));
+        assert!(out.contains("final configuration"));
+    }
+
+    #[test]
+    fn compare_lists_five_managers() {
+        let out = compare_text(&inv(&["compare", "render"])).unwrap();
+        for m in ["Kingsley", "Lea", "Regions", "Obstacks", "our DM manager"] {
+            assert!(out.contains(m), "missing {m} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_workload_error() {
+        assert!(run(&inv(&["frobnicate"])).is_err());
+        assert!(run(&inv(&["profile", "nosuch"])).is_err());
+    }
+
+    #[test]
+    fn phases_detects_render_structure() {
+        let out = phases_text(&inv(&["phases", "render"])).unwrap();
+        assert!(out.contains("announced phases: [0, 1]"), "{out}");
+        assert!(out.contains("detected phases"));
+    }
+}

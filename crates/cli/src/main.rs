@@ -1,0 +1,13 @@
+//! The `dmm` command-line tool. See [`dmm_cli`] for the subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inv = dmm_cli::Invocation::parse(&args);
+    match dmm_cli::run(&inv) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("dmm: {e}");
+            std::process::exit(1);
+        }
+    }
+}

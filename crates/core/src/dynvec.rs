@@ -1,0 +1,148 @@
+//! A geometric-growth dynamic array allocated through an [`Allocator`].
+//!
+//! The paper's applications are C/C++ programs whose dominant DM behaviour
+//! comes from dynamic data types — above all growable arrays that double
+//! their backing store. [`DynVec`] reproduces exactly that allocation
+//! pattern (alloc new, copy, free old) against any manager under test,
+//! while the *element payloads* stay in host memory; only sizes matter for
+//! footprint studies.
+
+use crate::error::Result;
+use crate::manager::{Allocator, BlockHandle};
+
+/// A size-only model of `std::vector`-style geometric growth.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_core::dynvec::DynVec;
+/// use dmm_core::manager::{Allocator, PolicyAllocator};
+/// use dmm_core::space::presets;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut alloc = PolicyAllocator::new(presets::drr_paper())?;
+/// let mut v = DynVec::new(16); // 16-byte records
+/// for _ in 0..100 {
+///     v.push(&mut alloc)?;
+/// }
+/// assert!(v.capacity() >= 100);
+/// v.destroy(&mut alloc)?;
+/// assert_eq!(alloc.stats().live_requested, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DynVec {
+    elem_bytes: usize,
+    len: usize,
+    cap: usize,
+    handle: Option<BlockHandle>,
+}
+
+impl DynVec {
+    /// A vector of records of `elem_bytes` each, initially unallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_bytes` is zero.
+    pub fn new(elem_bytes: usize) -> Self {
+        assert!(elem_bytes > 0, "element size must be positive");
+        DynVec {
+            elem_bytes,
+            len: 0,
+            cap: 0,
+            handle: None,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append one record, growing the backing store geometrically when
+    /// full (allocate double, free the old block — the classic realloc
+    /// pattern the paper's applications exhibit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures; the vector is unchanged on error.
+    pub fn push(&mut self, alloc: &mut dyn Allocator) -> Result<()> {
+        if self.len == self.cap {
+            let new_cap = (self.cap * 2).max(4);
+            let new_handle = alloc.alloc(new_cap * self.elem_bytes)?;
+            if let Some(old) = self.handle.take() {
+                alloc.free(old)?;
+            }
+            self.handle = Some(new_handle);
+            self.cap = new_cap;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Release the backing store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    pub fn destroy(mut self, alloc: &mut dyn Allocator) -> Result<()> {
+        if let Some(h) = self.handle.take() {
+            alloc.free(h)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::PolicyAllocator;
+    use crate::space::presets;
+
+    #[test]
+    fn growth_is_geometric() {
+        let mut alloc = PolicyAllocator::new(presets::lea_like()).unwrap();
+        let mut v = DynVec::new(8);
+        let mut grow_events = 0;
+        let mut last_allocs = alloc.stats().allocs;
+        for _ in 0..1000 {
+            v.push(&mut alloc).unwrap();
+            if alloc.stats().allocs != last_allocs {
+                grow_events += 1;
+                last_allocs = alloc.stats().allocs;
+            }
+        }
+        // 1000 elements with doubling from 4: 4,8,...,1024 => 9 growths.
+        assert_eq!(grow_events, 9);
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v.capacity(), 1024);
+        v.destroy(&mut alloc).unwrap();
+        assert_eq!(alloc.stats().live_requested, 0);
+    }
+
+    #[test]
+    fn empty_vector_never_allocates() {
+        let mut alloc = PolicyAllocator::new(presets::drr_paper()).unwrap();
+        let v = DynVec::new(8);
+        assert!(v.is_empty());
+        v.destroy(&mut alloc).unwrap();
+        assert_eq!(alloc.stats().allocs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "element size")]
+    fn zero_element_size_rejected() {
+        let _ = DynVec::new(0);
+    }
+}

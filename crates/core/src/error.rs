@@ -1,0 +1,86 @@
+//! Error types shared by the whole `dmm` workspace.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Error raised by heap, manager and methodology operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The arena could not satisfy a request (only possible when an arena
+    /// capacity limit is configured).
+    OutOfMemory {
+        /// Bytes that were requested from the system.
+        requested: usize,
+        /// Configured capacity limit that was exceeded.
+        limit: usize,
+    },
+    /// A handle was freed twice or never allocated.
+    InvalidFree {
+        /// Offset carried by the offending handle.
+        offset: usize,
+    },
+    /// A configuration combines leaves that the interdependency rules forbid.
+    InvalidConfig(String),
+    /// A trace replay referenced an unknown allocation id.
+    UnknownTraceId(u64),
+    /// A trace is malformed (e.g. double-free of a trace id).
+    MalformedTrace(String),
+    /// The methodology was asked to explore an empty candidate set.
+    EmptySearchSpace(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfMemory { requested, limit } => write!(
+                f,
+                "out of memory: requested {requested} bytes from an arena limited to {limit} bytes"
+            ),
+            Error::InvalidFree { offset } => {
+                write!(f, "invalid free: no live block at offset {offset}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid manager configuration: {msg}"),
+            Error::UnknownTraceId(id) => write!(f, "trace references unknown allocation id {id}"),
+            Error::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
+            Error::EmptySearchSpace(msg) => write!(f, "empty search space: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::OutOfMemory {
+                requested: 10,
+                limit: 5,
+            },
+            Error::InvalidFree { offset: 64 },
+            Error::InvalidConfig("bad".into()),
+            Error::UnknownTraceId(7),
+            Error::MalformedTrace("dup".into()),
+            Error::EmptySearchSpace("no leaves".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            // C-GOOD-ERR: concise, no trailing punctuation.
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

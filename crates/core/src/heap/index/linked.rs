@@ -1,0 +1,399 @@
+//! Linked-list free indexes (A1 leaves *singly linked list* and
+//! *doubly linked list*), backed by a slab so the simulation is allocation-
+//! free on the hot path.
+//!
+//! The cost model mirrors the real structures: a singly linked list charges
+//! a walk for every unlink (it must find the predecessor), while the doubly
+//! linked list unlinks in O(1) — which is exactly why immediate coalescing
+//! wants it (paper Section 5: "the most simple DDT that allows coalescing
+//! and splitting, i.e. double linked list").
+
+use std::collections::HashMap;
+
+use crate::heap::block::Span;
+use crate::heap::index::FreeIndex;
+use crate::space::trees::FitAlgorithm;
+use crate::units::POINTER_BYTES;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    span: Span,
+    prev: usize,
+    next: usize,
+}
+
+/// Slab-backed intrusive list shared by both linked variants.
+#[derive(Debug, Clone, Default)]
+struct LinkedSlab {
+    nodes: Vec<Node>,
+    free_slots: Vec<usize>,
+    by_offset: HashMap<usize, usize>,
+    head: usize,
+    len: usize,
+}
+
+impl LinkedSlab {
+    fn new() -> Self {
+        LinkedSlab {
+            nodes: Vec::new(),
+            free_slots: Vec::new(),
+            by_offset: HashMap::new(),
+            head: NIL,
+            len: 0,
+        }
+    }
+
+    fn push_front(&mut self, span: Span) {
+        let node = Node {
+            span,
+            prev: NIL,
+            next: self.head,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.nodes[s] = node;
+                s
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        let dup = self.by_offset.insert(span.offset, slot);
+        debug_assert!(dup.is_none(), "duplicate span at offset {}", span.offset);
+        self.len += 1;
+    }
+
+    fn unlink(&mut self, slot: usize) -> Span {
+        let (prev, next, span) = {
+            let n = &self.nodes[slot];
+            (n.prev, n.next, n.span)
+        };
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        }
+        self.by_offset.remove(&span.offset);
+        self.free_slots.push(slot);
+        self.len -= 1;
+        span
+    }
+
+    /// Walk distance from the head to `slot` (for the SLL unlink charge).
+    fn walk_distance(&self, slot: usize) -> u64 {
+        let mut cur = self.head;
+        let mut dist = 0;
+        while cur != NIL && cur != slot {
+            cur = self.nodes[cur].next;
+            dist += 1;
+        }
+        dist + 1
+    }
+
+    fn iter(&self) -> LinkedIter<'_> {
+        LinkedIter {
+            slab: self,
+            cur: self.head,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free_slots.clear();
+        self.by_offset.clear();
+        self.head = NIL;
+        self.len = 0;
+    }
+}
+
+struct LinkedIter<'a> {
+    slab: &'a LinkedSlab,
+    cur: usize,
+}
+
+impl Iterator for LinkedIter<'_> {
+    type Item = (usize, Span);
+
+    fn next(&mut self) -> Option<(usize, Span)> {
+        if self.cur == NIL {
+            return None;
+        }
+        let slot = self.cur;
+        let node = &self.slab.nodes[slot];
+        self.cur = node.next;
+        Some((slot, node.span))
+    }
+}
+
+/// Generic fit search over the list's link order.
+fn search(
+    slab: &LinkedSlab,
+    fit: FitAlgorithm,
+    len: usize,
+    start: usize,
+    steps: &mut u64,
+) -> Option<usize> {
+    match fit {
+        FitAlgorithm::FirstFit | FitAlgorithm::NextFit => {
+            // NextFit: first pass from `start`, then wrap to the head.
+            let mut cur = if fit == FitAlgorithm::NextFit && start != NIL {
+                start
+            } else {
+                slab.head
+            };
+            let mut wrapped = cur == slab.head;
+            loop {
+                if cur == NIL {
+                    if wrapped {
+                        return None;
+                    }
+                    wrapped = true;
+                    cur = slab.head;
+                    if cur == NIL {
+                        return None;
+                    }
+                }
+                *steps += 1;
+                let node = &slab.nodes[cur];
+                if node.span.len >= len {
+                    return Some(cur);
+                }
+                cur = node.next;
+                if wrapped && cur == start {
+                    return None;
+                }
+            }
+        }
+        FitAlgorithm::BestFit => {
+            let mut best: Option<(usize, usize)> = None;
+            for (slot, span) in slab.iter() {
+                *steps += 1;
+                if span.len >= len && best.map_or(true, |(_, bl)| span.len < bl) {
+                    best = Some((slot, span.len));
+                    if span.len == len {
+                        break; // cannot do better than exact
+                    }
+                }
+            }
+            best.map(|(s, _)| s)
+        }
+        FitAlgorithm::WorstFit => {
+            let mut worst: Option<(usize, usize)> = None;
+            for (slot, span) in slab.iter() {
+                *steps += 1;
+                if span.len >= len && worst.map_or(true, |(_, wl)| span.len > wl) {
+                    worst = Some((slot, span.len));
+                }
+            }
+            worst.map(|(s, _)| s)
+        }
+        FitAlgorithm::ExactFit => {
+            for (slot, span) in slab.iter() {
+                *steps += 1;
+                if span.len == len {
+                    return Some(slot);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// A LIFO singly linked free list.
+#[derive(Debug, Clone, Default)]
+pub struct SllIndex {
+    slab: LinkedSlab,
+    cursor: usize,
+}
+
+impl SllIndex {
+    /// An empty singly linked index.
+    pub fn new() -> Self {
+        SllIndex {
+            slab: LinkedSlab::new(),
+            cursor: NIL,
+        }
+    }
+}
+
+impl FreeIndex for SllIndex {
+    fn insert(&mut self, span: Span, steps: &mut u64) {
+        *steps += 1; // head insert
+        self.slab.push_front(span);
+    }
+
+    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
+        let slot = *self.slab.by_offset.get(&offset)?;
+        // A singly linked list must walk to the predecessor to unlink.
+        *steps += self.slab.walk_distance(slot);
+        if self.cursor == slot {
+            self.cursor = self.slab.nodes[slot].next;
+        }
+        Some(self.slab.unlink(slot))
+    }
+
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
+        let slot = search(&self.slab, fit, len, self.cursor, steps)?;
+        if fit == FitAlgorithm::NextFit {
+            self.cursor = self.slab.nodes[slot].next;
+        }
+        Some(self.slab.nodes[slot].span)
+    }
+
+    fn len(&self) -> usize {
+        self.slab.len
+    }
+
+    fn spans(&self) -> Vec<Span> {
+        self.slab.iter().map(|(_, s)| s).collect()
+    }
+
+    fn clear(&mut self) {
+        self.slab.clear();
+        self.cursor = NIL;
+    }
+
+    fn control_overhead_bytes(&self) -> usize {
+        POINTER_BYTES // the head pointer
+    }
+}
+
+/// A doubly linked free list with O(1) unlink.
+#[derive(Debug, Clone, Default)]
+pub struct DllIndex {
+    slab: LinkedSlab,
+    cursor: usize,
+}
+
+impl DllIndex {
+    /// An empty doubly linked index.
+    pub fn new() -> Self {
+        DllIndex {
+            slab: LinkedSlab::new(),
+            cursor: NIL,
+        }
+    }
+}
+
+impl FreeIndex for DllIndex {
+    fn insert(&mut self, span: Span, steps: &mut u64) {
+        *steps += 1;
+        self.slab.push_front(span);
+    }
+
+    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
+        let slot = *self.slab.by_offset.get(&offset)?;
+        *steps += 1; // O(1) unlink thanks to the back pointer
+        if self.cursor == slot {
+            self.cursor = self.slab.nodes[slot].next;
+        }
+        Some(self.slab.unlink(slot))
+    }
+
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
+        let slot = search(&self.slab, fit, len, self.cursor, steps)?;
+        if fit == FitAlgorithm::NextFit {
+            self.cursor = self.slab.nodes[slot].next;
+        }
+        Some(self.slab.nodes[slot].span)
+    }
+
+    fn len(&self) -> usize {
+        self.slab.len
+    }
+
+    fn spans(&self) -> Vec<Span> {
+        self.slab.iter().map(|(_, s)| s).collect()
+    }
+
+    fn clear(&mut self) {
+        self.slab.clear();
+        self.cursor = NIL;
+    }
+
+    fn control_overhead_bytes(&self) -> usize {
+        2 * POINTER_BYTES // head + tail pointers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sll_remove_charges_walk_dll_does_not() {
+        let mut sll = SllIndex::new();
+        let mut dll = DllIndex::new();
+        let mut s = 0u64;
+        for i in 0..10 {
+            sll.insert(Span::new(i * 32, 32), &mut s);
+            dll.insert(Span::new(i * 32, 32), &mut s);
+        }
+        // Offset 0 was inserted first => it is at the tail (distance 10).
+        let mut sll_steps = 0u64;
+        sll.remove(0, &mut sll_steps).unwrap();
+        let mut dll_steps = 0u64;
+        dll.remove(0, &mut dll_steps).unwrap();
+        assert!(sll_steps >= 10, "SLL unlink must walk: {sll_steps}");
+        assert_eq!(dll_steps, 1, "DLL unlink is O(1)");
+    }
+
+    #[test]
+    fn lifo_order_drives_first_fit() {
+        let mut idx = DllIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(0, 64), &mut s);
+        idx.insert(Span::new(64, 128), &mut s); // most recent => head
+        let found = idx.find(FitAlgorithm::FirstFit, 32, &mut s).unwrap();
+        assert_eq!(found.offset, 64, "first fit sees the most recent insert");
+    }
+
+    #[test]
+    fn next_fit_roves() {
+        let mut idx = DllIndex::new();
+        let mut s = 0u64;
+        for i in 0..4 {
+            idx.insert(Span::new(i * 64, 64), &mut s);
+        }
+        // Head order is offsets 192,128,64,0.
+        let a = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        let b = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        assert_ne!(a.offset, b.offset, "next fit advances past its last hit");
+    }
+
+    #[test]
+    fn next_fit_wraps_around() {
+        let mut idx = SllIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(0, 32), &mut s);
+        idx.insert(Span::new(32, 256), &mut s);
+        // First call lands on the 256 block (head), cursor moves past it.
+        assert_eq!(idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().offset, 32);
+        // Only the 256 block fits 100; next fit must wrap to find it again.
+        assert_eq!(idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().offset, 32);
+    }
+
+    #[test]
+    fn cursor_survives_removal_of_cursor_block() {
+        let mut idx = DllIndex::new();
+        let mut s = 0u64;
+        for i in 0..3 {
+            idx.insert(Span::new(i * 64, 64), &mut s);
+        }
+        let hit = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        idx.remove(hit.offset, &mut s).unwrap();
+        // Cursor pointed into the removed node's neighbourhood; the next
+        // search must still terminate and find something.
+        assert!(idx.find(FitAlgorithm::NextFit, 64, &mut s).is_some());
+    }
+}

@@ -1,0 +1,186 @@
+//! Free-block index structures — the implementations of the A1
+//! (*Block structure*) decision tree.
+//!
+//! Each index organises the free blocks of one pool and charges
+//! [`search steps`](crate::metrics::AllocStats::search_steps) that reflect
+//! its real algorithmic cost on the modelled target, so the performance
+//! consequences of the A1 decision are measurable as well as the footprint
+//! ones.
+
+mod linked;
+mod ordered;
+
+pub use linked::{DllIndex, SllIndex};
+pub use ordered::{AddrIndex, SizeTreeIndex};
+
+use crate::heap::block::Span;
+use crate::space::trees::{BlockStructure, FitAlgorithm};
+
+/// Common interface of all free-block indexes.
+///
+/// Implementations must tolerate any interleaving of operations; `steps`
+/// accumulates the abstract unit-cost of each operation.
+pub trait FreeIndex: std::fmt::Debug {
+    /// Add a free span.
+    fn insert(&mut self, span: Span, steps: &mut u64);
+
+    /// Remove the span starting at `offset`; returns it if present.
+    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span>;
+
+    /// Locate (without removing) a span satisfying `fit` for `len` bytes.
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span>;
+
+    /// Number of indexed spans.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no spans.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all indexed spans (order unspecified).
+    fn spans(&self) -> Vec<Span>;
+
+    /// Drop all spans.
+    fn clear(&mut self);
+
+    /// Static control-structure bytes this index costs on the target.
+    fn control_overhead_bytes(&self) -> usize;
+}
+
+/// Instantiate the index matching an A1 leaf.
+pub fn new_index(structure: BlockStructure) -> Box<dyn FreeIndex + Send> {
+    match structure {
+        BlockStructure::SinglyLinkedList => Box::new(SllIndex::new()),
+        BlockStructure::DoublyLinkedList => Box::new(DllIndex::new()),
+        BlockStructure::AddressOrderedList => Box::new(AddrIndex::new()),
+        BlockStructure::SizeOrderedTree => Box::new(SizeTreeIndex::new()),
+    }
+}
+
+#[cfg(test)]
+mod contract_tests {
+    //! Behavioural contract every index implementation must satisfy.
+
+    use super::*;
+
+    fn all_indexes() -> Vec<(BlockStructure, Box<dyn FreeIndex + Send>)> {
+        BlockStructure::ALL
+            .iter()
+            .map(|&s| (s, new_index(s)))
+            .collect()
+    }
+
+    #[test]
+    fn insert_find_remove_round_trip() {
+        for (kind, mut idx) in all_indexes() {
+            let mut steps = 0u64;
+            idx.insert(Span::new(0, 64), &mut steps);
+            idx.insert(Span::new(64, 128), &mut steps);
+            idx.insert(Span::new(192, 32), &mut steps);
+            assert_eq!(idx.len(), 3, "{kind:?}");
+
+            for fit in FitAlgorithm::ALL {
+                let found = idx.find(fit, 32, &mut steps);
+                let span = found.unwrap_or_else(|| panic!("{kind:?}/{fit:?} found nothing"));
+                assert!(span.len >= 32, "{kind:?}/{fit:?} returned too-small span");
+            }
+
+            assert_eq!(idx.remove(64, &mut steps), Some(Span::new(64, 128)));
+            assert_eq!(idx.remove(64, &mut steps), None, "{kind:?} double remove");
+            assert_eq!(idx.len(), 2);
+            idx.clear();
+            assert!(idx.is_empty());
+            assert!(idx.find(FitAlgorithm::FirstFit, 1, &mut steps).is_none());
+        }
+    }
+
+    #[test]
+    fn fit_postconditions() {
+        for (kind, mut idx) in all_indexes() {
+            let mut steps = 0u64;
+            let sizes = [48usize, 256, 96, 64, 512, 64];
+            for (i, &len) in sizes.iter().enumerate() {
+                idx.insert(Span::new(i * 1024, len), &mut steps);
+            }
+            let need = 64;
+
+            let best = idx.find(FitAlgorithm::BestFit, need, &mut steps).unwrap();
+            assert_eq!(best.len, 64, "{kind:?} best fit must be tightest");
+
+            let worst = idx.find(FitAlgorithm::WorstFit, need, &mut steps).unwrap();
+            assert_eq!(worst.len, 512, "{kind:?} worst fit must be largest");
+
+            let exact = idx.find(FitAlgorithm::ExactFit, need, &mut steps).unwrap();
+            assert_eq!(exact.len, 64, "{kind:?} exact fit must match exactly");
+            assert!(
+                idx.find(FitAlgorithm::ExactFit, 100, &mut steps).is_none(),
+                "{kind:?} exact fit must miss absent sizes"
+            );
+
+            let first = idx.find(FitAlgorithm::FirstFit, need, &mut steps).unwrap();
+            assert!(first.len >= need);
+
+            // Requests larger than everything must miss for every fit.
+            for fit in FitAlgorithm::ALL {
+                assert!(
+                    idx.find(fit, 4096, &mut steps).is_none(),
+                    "{kind:?}/{fit:?} fabricated a span"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spans_snapshot_is_complete() {
+        for (kind, mut idx) in all_indexes() {
+            let mut steps = 0u64;
+            let mut expect = Vec::new();
+            for i in 0..16 {
+                let span = Span::new(i * 100, 16 + i);
+                idx.insert(span, &mut steps);
+                expect.push(span);
+            }
+            let mut got = idx.spans();
+            got.sort();
+            expect.sort();
+            assert_eq!(got, expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn steps_always_advance() {
+        for (kind, mut idx) in all_indexes() {
+            let mut steps = 0u64;
+            idx.insert(Span::new(0, 64), &mut steps);
+            assert!(steps > 0, "{kind:?} insert charged nothing");
+            let before = steps;
+            idx.find(FitAlgorithm::FirstFit, 16, &mut steps);
+            assert!(steps > before, "{kind:?} find charged nothing");
+            let before = steps;
+            idx.remove(0, &mut steps);
+            assert!(steps > before, "{kind:?} remove charged nothing");
+        }
+    }
+
+    #[test]
+    fn next_fit_eventually_visits_everything() {
+        // With equal-size blocks, repeated next-fit hits must cycle through
+        // distinct offsets rather than hammering one block.
+        for (kind, mut idx) in all_indexes() {
+            let mut steps = 0u64;
+            for i in 0..8 {
+                idx.insert(Span::new(i * 64, 64), &mut steps);
+            }
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..32 {
+                let s = idx.find(FitAlgorithm::NextFit, 64, &mut steps).unwrap();
+                seen.insert(s.offset);
+            }
+            assert!(
+                seen.len() >= 2,
+                "{kind:?} next fit never roved: {seen:?}"
+            );
+        }
+    }
+}

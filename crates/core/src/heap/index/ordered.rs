@@ -1,0 +1,316 @@
+//! Ordered free indexes (A1 leaves *address-ordered list* and
+//! *size-ordered tree*).
+//!
+//! The address-ordered list keeps free blocks sorted by offset — sweeps and
+//! address-local placement are cheap, size searches are linear. The
+//! size-ordered tree keys blocks by `(len, offset)` — best/exact fit are
+//! logarithmic, which is why the soft interdependency arrows point best-fit
+//! searchers at it.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::heap::block::Span;
+use crate::heap::index::FreeIndex;
+use crate::space::trees::FitAlgorithm;
+use crate::units::POINTER_BYTES;
+
+fn log_cost(n: usize) -> u64 {
+    (usize::BITS - n.max(1).leading_zeros()) as u64
+}
+
+/// Free list kept sorted by block address.
+#[derive(Debug, Clone, Default)]
+pub struct AddrIndex {
+    by_offset: BTreeMap<usize, usize>,
+    cursor: Option<usize>,
+}
+
+impl AddrIndex {
+    /// An empty address-ordered index.
+    pub fn new() -> Self {
+        AddrIndex::default()
+    }
+}
+
+impl FreeIndex for AddrIndex {
+    fn insert(&mut self, span: Span, steps: &mut u64) {
+        *steps += log_cost(self.by_offset.len());
+        let dup = self.by_offset.insert(span.offset, span.len);
+        debug_assert!(dup.is_none(), "duplicate span at {}", span.offset);
+    }
+
+    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
+        *steps += log_cost(self.by_offset.len());
+        let len = self.by_offset.remove(&offset)?;
+        if self.cursor == Some(offset) {
+            self.cursor = self.by_offset.range(offset..).next().map(|(o, _)| *o);
+        }
+        Some(Span::new(offset, len))
+    }
+
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
+        match fit {
+            FitAlgorithm::FirstFit => {
+                for (&o, &l) in self.by_offset.iter() {
+                    *steps += 1;
+                    if l >= len {
+                        return Some(Span::new(o, l));
+                    }
+                }
+                None
+            }
+            FitAlgorithm::NextFit => {
+                let start = self.cursor.unwrap_or(0);
+                let hit = self
+                    .by_offset
+                    .range(start..)
+                    .map(|(o, l)| {
+                        *steps += 1;
+                        (*o, *l)
+                    })
+                    .find(|&(_, l)| l >= len)
+                    .or_else(|| {
+                        self.by_offset
+                            .range(..start)
+                            .map(|(o, l)| {
+                                *steps += 1;
+                                (*o, *l)
+                            })
+                            .find(|&(_, l)| l >= len)
+                    });
+                if let Some((o, l)) = hit {
+                    self.cursor = Some(o + 1);
+                    return Some(Span::new(o, l));
+                }
+                None
+            }
+            FitAlgorithm::BestFit => {
+                let mut best: Option<Span> = None;
+                for (&o, &l) in self.by_offset.iter() {
+                    *steps += 1;
+                    if l >= len && best.map_or(true, |b| l < b.len) {
+                        best = Some(Span::new(o, l));
+                        if l == len {
+                            break;
+                        }
+                    }
+                }
+                best
+            }
+            FitAlgorithm::WorstFit => {
+                let mut worst: Option<Span> = None;
+                for (&o, &l) in self.by_offset.iter() {
+                    *steps += 1;
+                    if l >= len && worst.map_or(true, |w| l > w.len) {
+                        worst = Some(Span::new(o, l));
+                    }
+                }
+                worst
+            }
+            FitAlgorithm::ExactFit => {
+                for (&o, &l) in self.by_offset.iter() {
+                    *steps += 1;
+                    if l == len {
+                        return Some(Span::new(o, l));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.by_offset.len()
+    }
+
+    fn spans(&self) -> Vec<Span> {
+        self.by_offset
+            .iter()
+            .map(|(&o, &l)| Span::new(o, l))
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.by_offset.clear();
+        self.cursor = None;
+    }
+
+    fn control_overhead_bytes(&self) -> usize {
+        POINTER_BYTES // head pointer; links are in-band in free blocks
+    }
+}
+
+/// Balanced tree of free blocks keyed by `(len, offset)`.
+#[derive(Debug, Clone, Default)]
+pub struct SizeTreeIndex {
+    by_size: BTreeMap<(usize, usize), ()>,
+    len_of: HashMap<usize, usize>,
+    cursor: Option<(usize, usize)>,
+}
+
+impl SizeTreeIndex {
+    /// An empty size-ordered index.
+    pub fn new() -> Self {
+        SizeTreeIndex::default()
+    }
+}
+
+impl FreeIndex for SizeTreeIndex {
+    fn insert(&mut self, span: Span, steps: &mut u64) {
+        *steps += log_cost(self.by_size.len());
+        self.by_size.insert((span.len, span.offset), ());
+        let dup = self.len_of.insert(span.offset, span.len);
+        debug_assert!(dup.is_none(), "duplicate span at {}", span.offset);
+    }
+
+    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
+        *steps += log_cost(self.by_size.len());
+        let len = self.len_of.remove(&offset)?;
+        self.by_size.remove(&(len, offset));
+        if self.cursor == Some((len, offset)) {
+            self.cursor = None;
+        }
+        Some(Span::new(offset, len))
+    }
+
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
+        *steps += log_cost(self.by_size.len());
+        match fit {
+            // In a size-ordered structure the "first" block that fits *is*
+            // the best fit — a realistic consequence of the A1 choice.
+            FitAlgorithm::FirstFit | FitAlgorithm::BestFit => self
+                .by_size
+                .range((len, 0)..)
+                .next()
+                .map(|(&(l, o), _)| Span::new(o, l)),
+            FitAlgorithm::NextFit => {
+                let start = self.cursor.unwrap_or((len, 0)).max((len, 0));
+                let hit = self
+                    .by_size
+                    .range(start..)
+                    .next()
+                    .or_else(|| self.by_size.range((len, 0)..).next())
+                    .map(|(&(l, o), _)| Span::new(o, l));
+                if let Some(s) = hit {
+                    self.cursor = Some((s.len, s.offset + 1));
+                }
+                hit
+            }
+            FitAlgorithm::WorstFit => self
+                .by_size
+                .iter()
+                .next_back()
+                .map(|(&(l, o), _)| Span::new(o, l))
+                .filter(|s| s.len >= len),
+            FitAlgorithm::ExactFit => self
+                .by_size
+                .range((len, 0)..(len + 1, 0))
+                .next()
+                .map(|(&(l, o), _)| Span::new(o, l)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.by_size.len()
+    }
+
+    fn spans(&self) -> Vec<Span> {
+        self.by_size
+            .keys()
+            .map(|&(l, o)| Span::new(o, l))
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.by_size.clear();
+        self.len_of.clear();
+        self.cursor = None;
+    }
+
+    fn control_overhead_bytes(&self) -> usize {
+        POINTER_BYTES // root pointer; node links are in-band
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_index_first_fit_is_lowest_address() {
+        let mut idx = AddrIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(200, 64), &mut s);
+        idx.insert(Span::new(0, 64), &mut s);
+        idx.insert(Span::new(100, 64), &mut s);
+        let hit = idx.find(FitAlgorithm::FirstFit, 32, &mut s).unwrap();
+        assert_eq!(hit.offset, 0);
+    }
+
+    #[test]
+    fn size_tree_first_fit_equals_best_fit() {
+        let mut idx = SizeTreeIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(0, 256), &mut s);
+        idx.insert(Span::new(256, 32), &mut s);
+        idx.insert(Span::new(288, 64), &mut s);
+        let first = idx.find(FitAlgorithm::FirstFit, 48, &mut s).unwrap();
+        let best = idx.find(FitAlgorithm::BestFit, 48, &mut s).unwrap();
+        assert_eq!(first, best);
+        assert_eq!(first.len, 64);
+    }
+
+    #[test]
+    fn size_tree_worst_fit_is_largest() {
+        let mut idx = SizeTreeIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(0, 128), &mut s);
+        idx.insert(Span::new(128, 512), &mut s);
+        let hit = idx.find(FitAlgorithm::WorstFit, 64, &mut s).unwrap();
+        assert_eq!(hit.len, 512);
+        assert!(idx.find(FitAlgorithm::WorstFit, 1024, &mut s).is_none());
+    }
+
+    #[test]
+    fn size_tree_exact_fit_misses_close_sizes() {
+        let mut idx = SizeTreeIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(0, 64), &mut s);
+        assert!(idx.find(FitAlgorithm::ExactFit, 63, &mut s).is_none());
+        assert!(idx.find(FitAlgorithm::ExactFit, 65, &mut s).is_none());
+        assert_eq!(
+            idx.find(FitAlgorithm::ExactFit, 64, &mut s).unwrap().offset,
+            0
+        );
+    }
+
+    #[test]
+    fn addr_index_search_is_linear_tree_is_logarithmic() {
+        let mut addr = AddrIndex::new();
+        let mut tree = SizeTreeIndex::new();
+        let mut s = 0u64;
+        for i in 0..1024 {
+            addr.insert(Span::new(i * 64, 32), &mut s);
+            tree.insert(Span::new(i * 64, 32), &mut s);
+        }
+        // Add the only fitting block at the high end.
+        addr.insert(Span::new(1024 * 64, 4096), &mut s);
+        tree.insert(Span::new(1024 * 64, 4096), &mut s);
+        let mut addr_steps = 0u64;
+        addr.find(FitAlgorithm::BestFit, 4096, &mut addr_steps).unwrap();
+        let mut tree_steps = 0u64;
+        tree.find(FitAlgorithm::BestFit, 4096, &mut tree_steps).unwrap();
+        assert!(addr_steps > 1000, "{addr_steps}");
+        assert!(tree_steps < 16, "{tree_steps}");
+    }
+
+    #[test]
+    fn remove_returns_span_and_none_for_absent() {
+        let mut idx = SizeTreeIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(64, 96), &mut s);
+        assert_eq!(idx.remove(64, &mut s), Some(Span::new(64, 96)));
+        assert_eq!(idx.remove(64, &mut s), None);
+        assert_eq!(idx.len(), 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! The simulated heap substrate.
+//!
+//! Managers in this workspace do not run on the host allocator — they run on
+//! a byte-exact simulation of an embedded memory system, so that footprint
+//! numbers are deterministic and reproducible:
+//!
+//! - [`Arena`] — the `sbrk`-style system memory;
+//! - [`block`] — block spans and the tiling-invariant [`block::BlockMap`];
+//! - [`index`] — the free-block index structures of decision tree A1.
+
+pub mod arena;
+pub mod block;
+pub mod index;
+
+pub use arena::Arena;
+pub use block::{Block, BlockMap, BlockState, Span};
+pub use index::{new_index, FreeIndex};

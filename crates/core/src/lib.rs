@@ -1,0 +1,74 @@
+//! # dmm-core
+//!
+//! A faithful Rust implementation of the dynamic-memory-management design
+//! methodology of *Atienza, Mamagkakis, Catthoor, Mendias & Soudris,
+//! "Dynamic Memory Management Design Methodology for Reduced Memory
+//! Footprint in Multimedia and Wireless Network Applications", DATE 2004*.
+//!
+//! The crate provides:
+//!
+//! - the **search space** of orthogonal DM-management decision trees
+//!   ([`space`], paper Figure 1) with its interdependency rules (Figures 2
+//!   and 3) and the footprint-oriented traversal order (Section 4.2);
+//! - a **simulated heap substrate** ([`heap`]) with byte-exact accounting of
+//!   tag overhead, control-structure overhead and fragmentation on a
+//!   modelled 32-bit embedded target;
+//! - a **composable policy allocator** ([`manager`]) that turns any point of
+//!   the search space into a runnable atomic DM manager, plus the per-phase
+//!   global manager of Section 3.3;
+//! - **traces and profiling** ([`trace`], [`profile`]) to capture an
+//!   application's DM behaviour and replay it against any manager;
+//! - the **methodology engine** ([`methodology`]) that traverses the trees
+//!   in the paper's order and produces a custom manager minimising the
+//!   memory footprint of the profiled application;
+//! - a [`galloc`] adapter exposing composed managers through Rust's
+//!   `GlobalAlloc` interface.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dmm_core::methodology::Methodology;
+//! use dmm_core::manager::PolicyAllocator;
+//! use dmm_core::trace::{Trace, replay};
+//! use dmm_core::space::presets;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny synthetic trace: bursty variable-size allocations.
+//! let mut t = Trace::builder();
+//! let ids: Vec<_> = (0..64).map(|i| t.alloc(32 + (i % 7) * 24)).collect();
+//! for id in ids {
+//!     t.free(id);
+//! }
+//! let trace = t.finish()?;
+//!
+//! // Let the methodology design a custom manager for it...
+//! let outcome = Methodology::new().explore(&trace)?;
+//!
+//! // ...and verify it against a general-purpose preset.
+//! let custom = replay(&trace, &mut PolicyAllocator::new(outcome.config.clone())?)?;
+//! let lea = replay(&trace, &mut PolicyAllocator::new(presets::lea_like())?)?;
+//! assert!(custom.peak_footprint <= lea.peak_footprint);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dynvec;
+pub mod error;
+pub mod galloc;
+pub mod heap;
+pub mod manager;
+pub mod methodology;
+pub mod metrics;
+pub mod profile;
+pub mod space;
+pub mod trace;
+pub mod units;
+
+pub use error::{Error, Result};
+pub use manager::{Allocator, BlockHandle, PolicyAllocator};
+pub use metrics::FootprintStats;
+pub use space::{DmConfig, Params};
+pub use trace::Trace;

@@ -1,0 +1,114 @@
+//! Composable DM managers.
+//!
+//! - [`Allocator`] — the manager interface every comparator implements;
+//! - [`PolicyAllocator`] — interprets a [`crate::space::DmConfig`] into a
+//!   running *atomic* manager (Section 3.1);
+//! - [`GlobalManager`] — composes per-phase atomic managers into the
+//!   application's *global* manager (Section 3.3);
+//! - [`pools`] — pool routing shared by the policy engine.
+
+pub mod global;
+pub mod policy;
+pub mod pools;
+
+pub use global::GlobalManager;
+pub use policy::PolicyAllocator;
+
+use crate::error::Result;
+use crate::metrics::AllocStats;
+
+/// An opaque ticket for a live allocation.
+///
+/// Handles are issued by [`Allocator::alloc`] and consumed by
+/// [`Allocator::free`]. The `region` discriminates atomic managers inside a
+/// [`GlobalManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockHandle {
+    offset: usize,
+    region: u32,
+}
+
+impl BlockHandle {
+    /// Construct a handle.
+    ///
+    /// Intended for [`Allocator`] *implementors* (the baseline crates mint
+    /// handles too); applications should only pass around handles returned
+    /// by [`Allocator::alloc`].
+    pub fn new(offset: usize, region: u32) -> Self {
+        BlockHandle { offset, region }
+    }
+
+    /// Arena offset of the block's first byte.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Atomic-manager region this handle belongs to (0 for plain managers).
+    pub fn region(&self) -> u32 {
+        self.region
+    }
+}
+
+/// The interface of every dynamic memory manager in this workspace — the
+/// policy allocator, the hand-rolled baselines and the global manager.
+///
+/// Managers run on the simulated heap: `alloc` returns a handle, not a
+/// pointer. Use [`crate::galloc::ArenaAlloc`] to expose a manager through
+/// Rust's real `GlobalAlloc` interface.
+pub trait Allocator: std::fmt::Debug {
+    /// Human-readable manager name (appears in tables).
+    fn name(&self) -> &str;
+
+    /// Allocate `req` payload bytes.
+    ///
+    /// Requests of zero bytes are served as one-byte requests, mirroring
+    /// `malloc(0)` returning a unique pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::OutOfMemory`] if the arena limit would be
+    /// exceeded.
+    fn alloc(&mut self, req: usize) -> Result<BlockHandle>;
+
+    /// Release a block obtained from [`Allocator::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidFree`] for unknown or already-freed
+    /// handles.
+    fn free(&mut self, handle: BlockHandle) -> Result<()>;
+
+    /// Resize a live block to `new_req` payload bytes.
+    ///
+    /// The default implementation is the classic worst case — allocate the
+    /// new block, then free the old one (both live at once, like C's
+    /// `realloc` under the hood). Managers with splitting/coalescing
+    /// machinery override this with in-place resizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidFree`] for dead handles and
+    /// propagates allocation failures (the original block stays live on
+    /// failure).
+    fn realloc(&mut self, handle: BlockHandle, new_req: usize) -> Result<BlockHandle> {
+        let new = self.alloc(new_req)?;
+        self.free(handle)?;
+        Ok(new)
+    }
+
+    /// Bytes currently reserved from the system (arena + control
+    /// structures).
+    fn footprint(&self) -> usize;
+
+    /// Running statistics.
+    fn stats(&self) -> &AllocStats;
+
+    /// Inform the manager that the application entered a new logical phase
+    /// (Section 3.3). Plain managers ignore this.
+    fn set_phase(&mut self, phase: u32) {
+        let _ = phase;
+    }
+
+    /// Return to the pristine state, keeping the configuration.
+    fn reset(&mut self);
+}

@@ -1,0 +1,1191 @@
+//! The policy allocator: one [`DmConfig`] in, one atomic DM manager out.
+//!
+//! Every mechanism the search space can express is implemented here and
+//! driven purely by the configuration: tag overhead (A3/A4), class rounding
+//! (A2), pool routing (B1/B4), fit search (C1), splitting (A5/E1/E2),
+//! coalescing (A5/D1/D2) and returning memory to the system. The engine
+//! maintains the tiling invariant of [`BlockMap`] and charges search steps
+//! that reflect what the chosen structures would really cost.
+
+use crate::error::{Error, Result};
+use crate::heap::arena::Arena;
+use crate::heap::block::{Block, BlockMap, BlockState, Span};
+use crate::manager::pools::{Pools, UNINDEXED};
+use crate::manager::{Allocator, BlockHandle};
+use crate::metrics::AllocStats;
+use crate::space::config::DmConfig;
+use crate::space::trees::{
+    BlockSizes, BlockTags, CoalesceMaxSizes, CoalesceWhen, FitAlgorithm, PoolDivision, SplitWhen,
+};
+use crate::units::{align_up, MIN_ALIGN, MIN_BLOCK, SBRK_GRANULARITY};
+
+/// An atomic DM manager interpreting one point of the search space.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_core::manager::{Allocator, PolicyAllocator};
+/// use dmm_core::space::presets;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = PolicyAllocator::new(presets::drr_paper())?;
+/// let h = m.alloc(100)?;
+/// assert!(m.footprint() >= 100);
+/// m.free(h)?;
+/// // The paper's custom manager returns coalesced memory to the system.
+/// assert_eq!(m.stats().live_requested, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PolicyAllocator {
+    cfg: DmConfig,
+    tag_bytes: usize,
+    arena: Arena,
+    blocks: BlockMap,
+    pools: Pools,
+    stats: AllocStats,
+    coalesce_dirty: bool,
+}
+
+impl PolicyAllocator {
+    /// Build a manager from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration violates an
+    /// interdependency rule or parameter constraint.
+    pub fn new(cfg: DmConfig) -> Result<Self> {
+        cfg.validate()?;
+        let arena = match cfg.params.arena_limit {
+            Some(l) => Arena::with_limit(l),
+            None => Arena::unbounded(),
+        };
+        let pools = Pools::new(&cfg);
+        let mut m = PolicyAllocator {
+            tag_bytes: cfg.tag_bytes_per_block(),
+            arena,
+            blocks: BlockMap::new(),
+            pools,
+            stats: AllocStats::default(),
+            coalesce_dirty: false,
+            cfg,
+        };
+        m.sync_system();
+        Ok(m)
+    }
+
+    /// The configuration this manager runs.
+    pub fn config(&self) -> &DmConfig {
+        &self.cfg
+    }
+
+    /// Physical block length for a payload request: payload + tags, aligned,
+    /// floored at [`MIN_BLOCK`], then classed per the A2 decision.
+    fn block_len_for(&self, req: usize) -> usize {
+        let raw = align_up(req + self.tag_bytes, MIN_ALIGN).max(MIN_BLOCK);
+        self.pools.class_len(raw)
+    }
+
+    /// Smallest remainder worth keeping as its own block after a split.
+    fn min_remainder(&self) -> usize {
+        match self.cfg.split_min {
+            crate::space::trees::SplitMinSizes::Unrestricted => MIN_BLOCK,
+            crate::space::trees::SplitMinSizes::Floored => {
+                self.cfg.params.split_floor.max(MIN_BLOCK)
+            }
+        }
+    }
+
+    /// Remainder size required before a split is performed at all.
+    fn split_trigger(&self) -> Option<usize> {
+        if !self.cfg.may_split() {
+            return None;
+        }
+        match self.cfg.split_when {
+            SplitWhen::Never => None,
+            SplitWhen::Always => Some(self.min_remainder()),
+            SplitWhen::Threshold => {
+                Some(self.cfg.params.split_threshold.max(self.min_remainder()))
+            }
+        }
+    }
+
+    fn sync_system(&mut self) {
+        self.stats
+            .set_system(self.arena.brk(), self.pools.static_overhead());
+    }
+
+    /// Insert `len` free bytes at `offset` into the map and pool indexes,
+    /// carving to class sizes when A2 fixes them. Slack that fits no class
+    /// stays as an unindexed free block (Kingsley's misused memory).
+    fn insert_free_carved(&mut self, offset: usize, len: usize, steps: &mut u64) {
+        debug_assert!(len > 0);
+        if self.cfg.block_sizes == BlockSizes::Many {
+            let pool = self.pools.route(len, steps);
+            self.blocks.insert(Block::free(Span::new(offset, len), pool));
+            self.pools
+                .index_mut(pool)
+                .insert(Span::new(offset, len), steps);
+            return;
+        }
+        // Fixed classes: greedy carve, largest class first.
+        let mut at = offset;
+        let mut rest = len;
+        while rest >= MIN_BLOCK {
+            let class = self.largest_class_at_most(rest);
+            let Some(class) = class else { break };
+            let pool = self.pools.route(class, steps);
+            self.blocks.insert(Block::free(Span::new(at, class), pool));
+            self.pools
+                .index_mut(pool)
+                .insert(Span::new(at, class), steps);
+            at += class;
+            rest -= class;
+        }
+        if rest > 0 {
+            // Unusable slack: present in the map (tiling), in no index.
+            self.blocks
+                .insert(Block::free(Span::new(at, rest), UNINDEXED));
+        }
+    }
+
+    /// Largest configured class size that is `<= len`.
+    fn largest_class_at_most(&self, len: usize) -> Option<usize> {
+        match self.cfg.block_sizes {
+            BlockSizes::Many => Some(len),
+            BlockSizes::PowerOfTwoClasses => {
+                if len < MIN_BLOCK {
+                    None
+                } else {
+                    Some(1usize << (usize::BITS - 1 - len.leading_zeros()))
+                }
+            }
+            BlockSizes::ProfiledClasses => self
+                .cfg
+                .params
+                .profiled_classes
+                .iter()
+                .rev()
+                .copied()
+                .find(|&c| c <= len),
+        }
+    }
+
+    /// Obtain fresh memory for a `block_len` request. Returns the pool and
+    /// span of a free, *unindexed* block already present in the map.
+    fn grow(&mut self, block_len: usize, steps: &mut u64) -> Result<(usize, Span)> {
+        self.stats.failed_fits += 1;
+        if self.cfg.block_sizes.is_fixed() {
+            // Reserve a granule and distribute it among the class lists —
+            // the "initial memory region ... distributed among the
+            // different lists of block sizes" behaviour of Section 5.
+            let reserve = if block_len >= SBRK_GRANULARITY {
+                block_len
+            } else {
+                SBRK_GRANULARITY
+            };
+            let base = self.arena.sbrk(reserve)?;
+            self.stats.sbrk_calls += 1;
+            let pool = self.pools.route(block_len, steps);
+            // Candidate block for the current request:
+            self.blocks
+                .insert(Block::free(Span::new(base, block_len), UNINDEXED));
+            // Siblings of the same class:
+            let mut at = base + block_len;
+            while at + block_len <= base + reserve {
+                self.blocks
+                    .insert(Block::free(Span::new(at, block_len), pool));
+                self.pools
+                    .index_mut(pool)
+                    .insert(Span::new(at, block_len), steps);
+                at += block_len;
+            }
+            let slack = base + reserve - at;
+            if slack > 0 {
+                self.blocks
+                    .insert(Block::free(Span::new(at, slack), UNINDEXED));
+            }
+            return Ok((pool, Span::new(base, block_len)));
+        }
+
+        // Many sizes: extend the top free block if the policy can merge new
+        // memory into it, otherwise take an exact extension.
+        if self.cfg.may_coalesce() {
+            if let Some(top) = self.blocks.top().copied() {
+                if top.is_free() && top.span.len < block_len {
+                    let need = block_len - top.span.len;
+                    self.arena.sbrk(need)?;
+                    self.stats.sbrk_calls += 1;
+                    if top.pool != UNINDEXED {
+                        self.pools
+                            .index_mut(top.pool)
+                            .remove(top.span.offset, steps);
+                    }
+                    let span = Span::new(top.span.offset, block_len);
+                    let blk = self
+                        .blocks
+                        .get_mut(top.span.offset)
+                        .expect("top block must exist");
+                    blk.span = span;
+                    blk.pool = UNINDEXED;
+                    let pool = self.pools.route(block_len, steps);
+                    return Ok((pool, span));
+                }
+            }
+        }
+        let base = self.arena.sbrk(block_len)?;
+        self.stats.sbrk_calls += 1;
+        self.blocks
+            .insert(Block::free(Span::new(base, block_len), UNINDEXED));
+        let pool = self.pools.route(block_len, steps);
+        Ok((pool, Span::new(base, block_len)))
+    }
+
+    /// Split the free unindexed block at `span` down to `need` bytes if the
+    /// E-category policy allows; returns the length actually kept.
+    fn try_split(&mut self, span: Span, need: usize, steps: &mut u64) -> usize {
+        debug_assert!(span.len >= need);
+        let remainder = span.len - need;
+        let Some(trigger) = self.split_trigger() else {
+            return span.len;
+        };
+        if remainder < trigger {
+            return span.len;
+        }
+        // Perform the split: shrink this block, carve the remainder.
+        self.stats.splits += 1;
+        *steps += 2; // re-stamp two tags
+        let blk = self
+            .blocks
+            .get_mut(span.offset)
+            .expect("split target must exist");
+        blk.span = Span::new(span.offset, need);
+        self.insert_free_carved(span.offset + need, remainder, steps);
+        need
+    }
+
+    /// Immediately merge the free block at `offset` with free physical
+    /// neighbours, honouring the D1 cap. Returns the merged span, which is
+    /// left in the map, free and unindexed.
+    fn coalesce_at(&mut self, offset: usize, steps: &mut u64) -> Span {
+        let cap = match self.cfg.coalesce_max {
+            CoalesceMaxSizes::Unlimited => usize::MAX,
+            CoalesceMaxSizes::Capped => self.cfg.params.coalesce_cap,
+        };
+        let mut span = self
+            .blocks
+            .get(offset)
+            .expect("coalesce target must exist")
+            .span;
+
+        // Forward merges: the next header is one tag read away.
+        while let Some(next) = self.blocks.next_of(span.offset).copied() {
+            if !next.is_free() || span.len + next.span.len > cap {
+                break;
+            }
+            *steps += 1;
+            if next.pool != UNINDEXED {
+                self.pools
+                    .index_mut(next.pool)
+                    .remove(next.span.offset, steps);
+            }
+            self.blocks.remove(next.span.offset);
+            span = Span::new(span.offset, span.len + next.span.len);
+            self.blocks
+                .get_mut(span.offset)
+                .expect("merged block must exist")
+                .span = span;
+            self.stats.coalesces += 1;
+        }
+
+        // Backward merges: O(1) with a footer or prev-size field, otherwise
+        // the manager must search its free structures for the predecessor.
+        let cheap_prev = matches!(
+            self.cfg.block_tags,
+            BlockTags::Footer | BlockTags::HeaderAndFooter
+        ) || self.cfg.recorded_info.knows_prev();
+        while let Some(prev) = self.blocks.prev_of(span.offset).copied() {
+            if !prev.is_free()
+                || prev.span.end() != span.offset
+                || prev.span.len + span.len > cap
+            {
+                break;
+            }
+            *steps += if cheap_prev {
+                1
+            } else {
+                self.pools.total_free() as u64 + 1
+            };
+            if prev.pool != UNINDEXED {
+                self.pools
+                    .index_mut(prev.pool)
+                    .remove(prev.span.offset, steps);
+            }
+            self.blocks.remove(span.offset);
+            span = Span::new(prev.span.offset, prev.span.len + span.len);
+            let blk = self
+                .blocks
+                .get_mut(span.offset)
+                .expect("merged block must exist");
+            blk.span = span;
+            blk.pool = UNINDEXED;
+            blk.state = BlockState::Free;
+            self.stats.coalesces += 1;
+        }
+        span
+    }
+
+    /// Deferred whole-heap coalescing sweep (D2 = deferred): walk the tiling
+    /// in address order and merge adjacent free runs, honouring the D1 cap.
+    fn sweep_coalesce(&mut self, steps: &mut u64) {
+        let snapshot: Vec<Block> = self.blocks.iter().copied().collect();
+        *steps += snapshot.len() as u64;
+        let cap = match self.cfg.coalesce_max {
+            CoalesceMaxSizes::Unlimited => usize::MAX,
+            CoalesceMaxSizes::Capped => self.cfg.params.coalesce_cap,
+        };
+        let mut run: Vec<Block> = Vec::new();
+        let mut run_len = 0usize;
+        let mut merges: Vec<(usize, usize, Vec<Block>)> = Vec::new();
+        let mut flush = |run: &mut Vec<Block>, run_len: &mut usize| {
+            if run.len() > 1 {
+                merges.push((run[0].span.offset, *run_len, std::mem::take(run)));
+            } else {
+                run.clear();
+            }
+            *run_len = 0;
+        };
+        for blk in snapshot {
+            let extends = blk.is_free()
+                && run
+                    .last()
+                    .is_some_and(|l: &Block| l.span.end() == blk.span.offset)
+                && run_len + blk.span.len <= cap;
+            if extends {
+                run_len += blk.span.len;
+                run.push(blk);
+            } else {
+                flush(&mut run, &mut run_len);
+                if blk.is_free() {
+                    run_len = blk.span.len;
+                    run.push(blk);
+                }
+            }
+        }
+        flush(&mut run, &mut run_len);
+
+        for (offset, len, members) in merges {
+            for m in &members {
+                if m.pool != UNINDEXED {
+                    self.pools.index_mut(m.pool).remove(m.span.offset, steps);
+                }
+                self.blocks.remove(m.span.offset);
+                self.stats.coalesces += 1;
+            }
+            self.stats.coalesces -= 1; // n blocks -> n-1 merges
+            let pool = self.pools.route(len, steps);
+            self.blocks.insert(Block::free(Span::new(offset, len), pool));
+            self.pools
+                .index_mut(pool)
+                .insert(Span::new(offset, len), steps);
+        }
+        self.coalesce_dirty = false;
+    }
+
+    /// Give the top of the arena back to the system when the configuration
+    /// asks for it.
+    fn maybe_trim(&mut self, steps: &mut u64) {
+        let Some(threshold) = self.cfg.params.trim_threshold else {
+            return;
+        };
+        while let Some(top) = self.blocks.top().copied() {
+            if !top.is_free() || top.span.len < threshold {
+                break;
+            }
+            *steps += 1;
+            if top.pool != UNINDEXED {
+                self.pools
+                    .index_mut(top.pool)
+                    .remove(top.span.offset, steps);
+            }
+            self.blocks.remove(top.span.offset);
+            self.arena.trim(top.span.offset);
+            self.stats.trims += 1;
+        }
+    }
+
+    /// Verify every internal invariant; returns a description of the first
+    /// violation. Used by tests and property checks.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        if let Some(err) = self.blocks.check_tiling(self.arena.brk()) {
+            return Err(format!("tiling violated: {err}"));
+        }
+        // Every indexed span must be a free block of the same pool.
+        for (pool, span) in self.pools.all_spans() {
+            let Some(blk) = self.blocks.get(span.offset) else {
+                return Err(format!("indexed span {span:?} missing from block map"));
+            };
+            if !blk.is_free() {
+                return Err(format!("indexed span {span:?} is not free"));
+            }
+            if blk.span != span {
+                return Err(format!("indexed span {span:?} disagrees with {:?}", blk.span));
+            }
+            if blk.pool != pool {
+                return Err(format!(
+                    "indexed span {span:?} pool {pool} disagrees with block pool {}",
+                    blk.pool
+                ));
+            }
+        }
+        // Every free indexed block must appear exactly once across indexes.
+        let mut seen = std::collections::HashSet::new();
+        for (_, span) in self.pools.all_spans() {
+            if !seen.insert(span.offset) {
+                return Err(format!("span at {} indexed twice", span.offset));
+            }
+        }
+        // Every free block with a pool assignment must be indexed.
+        for blk in self.blocks.iter() {
+            if blk.is_free() && blk.pool != UNINDEXED && !seen.contains(&blk.span.offset) {
+                return Err(format!(
+                    "free block at {} claims pool {} but is unindexed",
+                    blk.span.offset, blk.pool
+                ));
+            }
+        }
+        // Live accounting must match the map.
+        let (mut live_req, mut live_block) = (0usize, 0usize);
+        for blk in self.blocks.iter() {
+            if !blk.is_free() {
+                live_req += blk.requested;
+                live_block += blk.span.len;
+            }
+        }
+        if live_req != self.stats.live_requested {
+            return Err(format!(
+                "live_requested {} != map sum {live_req}",
+                self.stats.live_requested
+            ));
+        }
+        if live_block != self.stats.live_block {
+            return Err(format!(
+                "live_block {} != map sum {live_block}",
+                self.stats.live_block
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of free blocks currently indexed (diagnostic).
+    pub fn free_block_count(&self) -> usize {
+        self.pools.total_free()
+    }
+}
+
+impl Allocator for PolicyAllocator {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn alloc(&mut self, req: usize) -> Result<BlockHandle> {
+        let req = req.max(1);
+        let mut steps = 0u64;
+        let block_len = self.block_len_for(req);
+        let home = self.pools.route(block_len, &mut steps);
+        let fit = self.cfg.fit;
+
+        let mut found: Option<(usize, Span)> = self
+            .pools
+            .find_in(home, fit, block_len, &mut steps)
+            .map(|s| (home, s));
+
+        // Exact fit missing its size falls through to splitting a larger
+        // block — A5's "activated according to the availability of the size
+        // of the memory block requested".
+        if found.is_none() && fit == FitAlgorithm::ExactFit && self.cfg.may_split() {
+            found = self
+                .pools
+                .find_in(home, FitAlgorithm::BestFit, block_len, &mut steps)
+                .map(|s| (home, s));
+        }
+
+        // Deferred coalescing reacts to an allocation miss.
+        if found.is_none()
+            && self.cfg.coalesce_when == CoalesceWhen::Deferred
+            && self.coalesce_dirty
+        {
+            self.sweep_coalesce(&mut steps);
+            let retry_fit = if fit == FitAlgorithm::ExactFit && self.cfg.may_split() {
+                FitAlgorithm::BestFit
+            } else {
+                fit
+            };
+            found = self
+                .pools
+                .find_in(home, retry_fit, block_len, &mut steps)
+                .map(|s| (home, s));
+        }
+
+        // Segregated managers that can split search larger classes next.
+        if found.is_none()
+            && self.cfg.pool_division == PoolDivision::PoolPerSizeClass
+            && self.cfg.may_split()
+        {
+            for p in self.pools.pools_above(home) {
+                if let Some(s) = self.pools.find_in(p, FitAlgorithm::FirstFit, block_len, &mut steps)
+                {
+                    found = Some((p, s));
+                    break;
+                }
+            }
+        }
+
+        let span = match found {
+            Some((pool, span)) => {
+                self.pools
+                    .index_mut(pool)
+                    .remove(span.offset, &mut steps)
+                    .expect("found span must be indexed");
+                self.blocks
+                    .get_mut(span.offset)
+                    .expect("found span must be mapped")
+                    .pool = UNINDEXED;
+                span
+            }
+            None => {
+                let (_, span) = self.grow(block_len, &mut steps)?;
+                span
+            }
+        };
+
+        let kept = self.try_split(span, block_len, &mut steps);
+        let home_final = self.pools.route(kept, &mut steps);
+        let blk = self
+            .blocks
+            .get_mut(span.offset)
+            .expect("allocated block must exist");
+        blk.state = BlockState::Used;
+        blk.requested = req;
+        blk.pool = home_final;
+        *&mut steps += 1; // stamp the tag
+
+        self.stats.on_alloc(req, kept);
+        self.stats.search_steps += steps;
+        self.sync_system();
+        Ok(BlockHandle::new(span.offset, 0))
+    }
+
+    fn free(&mut self, handle: BlockHandle) -> Result<()> {
+        let mut steps = 1u64; // read the tag
+        let offset = handle.offset();
+        let (req, len) = match self.blocks.get(offset) {
+            Some(b) if !b.is_free() => (b.requested, b.span.len),
+            _ => return Err(Error::InvalidFree { offset }),
+        };
+        self.stats.on_free(req, len);
+        {
+            let blk = self.blocks.get_mut(offset).expect("checked above");
+            blk.state = BlockState::Free;
+            blk.requested = 0;
+            blk.pool = UNINDEXED;
+        }
+
+        match self.cfg.coalesce_when {
+            CoalesceWhen::Always => {
+                let span = self.coalesce_at(offset, &mut steps);
+                let pool = self.pools.route(span.len, &mut steps);
+                self.blocks
+                    .get_mut(span.offset)
+                    .expect("merged block must exist")
+                    .pool = pool;
+                self.pools.index_mut(pool).insert(span, &mut steps);
+            }
+            CoalesceWhen::Deferred | CoalesceWhen::Never => {
+                let span = Span::new(offset, len);
+                let pool = self.pools.route(len, &mut steps);
+                self.blocks
+                    .get_mut(offset)
+                    .expect("freed block must exist")
+                    .pool = pool;
+                self.pools.index_mut(pool).insert(span, &mut steps);
+                if self.cfg.coalesce_when == CoalesceWhen::Deferred {
+                    self.coalesce_dirty = true;
+                }
+            }
+        }
+
+        self.maybe_trim(&mut steps);
+        self.stats.search_steps += steps;
+        self.sync_system();
+        Ok(())
+    }
+
+    fn realloc(&mut self, handle: BlockHandle, new_req: usize) -> Result<BlockHandle> {
+        let new_req = new_req.max(1);
+        let offset = handle.offset();
+        let (old_req, old_len) = match self.blocks.get(offset) {
+            Some(b) if !b.is_free() => (b.requested, b.span.len),
+            _ => return Err(Error::InvalidFree { offset }),
+        };
+        self.stats.reallocs += 1;
+        let mut steps = 1u64; // read the tag
+        let new_len = self.block_len_for(new_req);
+
+        // Case 1: the existing block already fits (same class, or a shrink
+        // whose tail is not worth splitting off).
+        let fits_in_place = new_len == old_len
+            || (new_len < old_len
+                && self
+                    .split_trigger()
+                    .map_or(true, |t| old_len - new_len < t));
+        if fits_in_place {
+            let blk = self.blocks.get_mut(offset).expect("checked above");
+            blk.requested = new_req;
+            self.stats.on_resize(old_req, new_req, old_len, old_len);
+            self.stats.reallocs_in_place += 1;
+            self.stats.search_steps += steps;
+            return Ok(handle);
+        }
+
+        // Case 2: shrink by splitting the tail off in place.
+        if new_len < old_len && self.cfg.may_split() {
+            self.stats.splits += 1;
+            steps += 2;
+            {
+                let blk = self.blocks.get_mut(offset).expect("checked above");
+                blk.span = Span::new(offset, new_len);
+                blk.requested = new_req;
+            }
+            let tail = offset + new_len;
+            let tail_len = old_len - new_len;
+            self.insert_free_carved(tail, tail_len, &mut steps);
+            if self.cfg.coalesce_when == CoalesceWhen::Always {
+                // Merge the tail with a free successor right away.
+                if let Some(tail_blk) = self.blocks.get(tail).copied() {
+                    if tail_blk.is_free() && tail_blk.pool != UNINDEXED {
+                        let pool = tail_blk.pool;
+                        self.pools.index_mut(pool).remove(tail, &mut steps);
+                        self.blocks.get_mut(tail).expect("tail exists").pool = UNINDEXED;
+                        let span = self.coalesce_at(tail, &mut steps);
+                        let pool = self.pools.route(span.len, &mut steps);
+                        self.blocks
+                            .get_mut(span.offset)
+                            .expect("merged tail exists")
+                            .pool = pool;
+                        self.pools.index_mut(pool).insert(span, &mut steps);
+                    }
+                }
+            }
+            self.stats.on_resize(old_req, new_req, old_len, new_len);
+            self.stats.reallocs_in_place += 1;
+            self.stats.search_steps += steps;
+            self.maybe_trim(&mut steps);
+            self.sync_system();
+            return Ok(handle);
+        }
+
+        // Case 3: grow in place by absorbing the free successor.
+        if new_len > old_len && self.cfg.may_coalesce() {
+            if let Some(next) = self.blocks.next_of(offset).copied() {
+                if next.is_free() && old_len + next.span.len >= new_len {
+                    steps += 1;
+                    if next.pool != UNINDEXED {
+                        self.pools
+                            .index_mut(next.pool)
+                            .remove(next.span.offset, &mut steps);
+                    }
+                    self.blocks.remove(next.span.offset);
+                    let absorbed = old_len + next.span.len;
+                    {
+                        let blk = self.blocks.get_mut(offset).expect("checked above");
+                        blk.span = Span::new(offset, absorbed);
+                        blk.requested = new_req;
+                    }
+                    self.stats.coalesces += 1;
+                    // Split the surplus back off if the policy allows.
+                    let kept = self.try_split(Span::new(offset, absorbed), new_len, &mut steps);
+                    self.stats.on_resize(old_req, new_req, old_len, kept);
+                    self.stats.reallocs_in_place += 1;
+                    self.stats.search_steps += steps;
+                    self.sync_system();
+                    return Ok(handle);
+                }
+            }
+        }
+
+        // Case 4: move — allocate, then free (classic realloc).
+        self.stats.search_steps += steps;
+        let new = self.alloc(new_req)?;
+        self.free(handle)?;
+        Ok(new)
+    }
+
+    fn footprint(&self) -> usize {
+        self.stats.system
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    fn reset(&mut self) {
+        self.arena.reset();
+        self.blocks.clear();
+        self.pools.clear();
+        self.stats = AllocStats::default();
+        self.coalesce_dirty = false;
+        self.sync_system();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::presets;
+    use crate::space::trees::Leaf;
+
+    fn drr() -> PolicyAllocator {
+        PolicyAllocator::new(presets::drr_paper()).unwrap()
+    }
+
+    fn kingsley() -> PolicyAllocator {
+        PolicyAllocator::new(presets::kingsley_like()).unwrap()
+    }
+
+    fn lea() -> PolicyAllocator {
+        PolicyAllocator::new(presets::lea_like()).unwrap()
+    }
+
+    #[test]
+    fn alloc_free_round_trip_all_presets() {
+        for cfg in presets::all() {
+            let mut m = PolicyAllocator::new(cfg).unwrap();
+            let h = m.alloc(100).unwrap();
+            assert!(m.footprint() >= 100, "{}", m.name());
+            m.free(h).unwrap();
+            m.check_invariants().unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            assert_eq!(m.stats().live_requested, 0);
+            assert_eq!(m.stats().allocs, 1);
+            assert_eq!(m.stats().frees, 1);
+        }
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut m = drr();
+        let h = m.alloc(64).unwrap();
+        m.free(h).unwrap();
+        assert!(matches!(m.free(h), Err(Error::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn bogus_handle_is_rejected() {
+        let mut m = drr();
+        let _ = m.alloc(64).unwrap();
+        let bogus = BlockHandle::new(999_999, 0);
+        assert!(m.free(bogus).is_err());
+    }
+
+    #[test]
+    fn zero_byte_request_is_served() {
+        let mut m = drr();
+        let h = m.alloc(0).unwrap();
+        m.free(h).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn kingsley_rounds_to_powers_of_two() {
+        let mut m = kingsley();
+        let _ = m.alloc(100).unwrap(); // block: 100+4 tag -> 104 -> class 128
+        assert_eq!(m.stats().live_block, 128);
+        assert_eq!(m.stats().internal_fragmentation(), 28);
+    }
+
+    #[test]
+    fn kingsley_distributes_a_granule_and_never_returns() {
+        let mut m = kingsley();
+        let h = m.alloc(24).unwrap();
+        // One page was reserved and carved into 32-byte blocks.
+        assert_eq!(m.footprint() - m.stats().static_overhead, 4096);
+        m.free(h).unwrap();
+        assert_eq!(
+            m.footprint() - m.stats().static_overhead,
+            4096,
+            "Kingsley never trims"
+        );
+        assert_eq!(m.stats().trims, 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drr_custom_returns_memory_to_system() {
+        let mut m = drr();
+        let handles: Vec<_> = (0..64).map(|_| m.alloc(512).unwrap()).collect();
+        let peak = m.footprint();
+        assert!(peak >= 64 * 512);
+        for h in handles {
+            m.free(h).unwrap();
+        }
+        m.check_invariants().unwrap();
+        // Everything coalesced into the top block and was trimmed away.
+        assert_eq!(m.stats().system - m.stats().static_overhead, 0);
+        assert!(m.stats().trims >= 1);
+        assert_eq!(m.stats().peak_footprint, peak);
+    }
+
+    #[test]
+    fn splitting_reuses_a_large_block_for_small_requests() {
+        let mut m = drr();
+        let big = m.alloc(1024).unwrap();
+        m.free(big).unwrap();
+        // trim threshold is one granule (4096); 1024+tag stays resident.
+        let before = m.stats().sbrk_calls;
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(100).unwrap();
+        assert_eq!(
+            m.stats().sbrk_calls,
+            before,
+            "small requests must be served by splitting the freed block"
+        );
+        assert!(m.stats().splits >= 2);
+        m.free(a).unwrap();
+        m.free(b).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn immediate_coalescing_restores_one_block() {
+        let mut m = drr();
+        // 8 x (600 + 4-byte tag -> 608) = 4864 bytes: once coalesced, the
+        // merged top block exceeds the 4096-byte trim threshold.
+        let hs: Vec<_> = (0..8).map(|_| m.alloc(600).unwrap()).collect();
+        // Free in an order that exercises prev- and next-merging.
+        for &i in &[1usize, 3, 5, 7, 0, 2, 4, 6] {
+            m.free(hs[i]).unwrap();
+        }
+        m.check_invariants().unwrap();
+        assert!(m.stats().coalesces >= 7);
+        // All memory merged and returned.
+        assert_eq!(m.stats().system - m.stats().static_overhead, 0);
+    }
+
+    #[test]
+    fn never_coalesce_leaves_fragments() {
+        let mut m = kingsley();
+        let hs: Vec<_> = (0..8).map(|_| m.alloc(240).unwrap()).collect();
+        for h in hs {
+            m.free(h).unwrap();
+        }
+        assert_eq!(m.stats().coalesces, 0);
+        assert!(m.free_block_count() >= 8);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deferred_coalescing_sweeps_on_miss() {
+        let mut m = lea();
+        let hs: Vec<_> = (0..16).map(|_| m.alloc(200).unwrap()).collect();
+        for h in hs {
+            m.free(h).unwrap();
+        }
+        assert_eq!(m.stats().coalesces, 0, "no merging before a miss");
+        let brk_before = m.stats().system;
+        // A request bigger than any single free block forces the sweep.
+        let big = m.alloc(1500).unwrap();
+        assert!(m.stats().coalesces > 0, "miss must trigger the sweep");
+        assert!(
+            m.stats().system <= brk_before + 256,
+            "sweep should satisfy the request mostly from merged memory"
+        );
+        m.free(big).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn capped_coalescing_respects_the_cap() {
+        let mut cfg = presets::drr_paper();
+        cfg.coalesce_max = CoalesceMaxSizes::Capped;
+        cfg.params.coalesce_cap = 512;
+        cfg.params.trim_threshold = None;
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        let hs: Vec<_> = (0..16).map(|_| m.alloc(240).unwrap()).collect();
+        for h in hs {
+            m.free(h).unwrap();
+        }
+        m.check_invariants().unwrap();
+        for blk in m.blocks.iter() {
+            assert!(blk.span.len <= 512, "cap violated: {:?}", blk.span);
+        }
+    }
+
+    #[test]
+    fn split_floor_keeps_remainders_attached() {
+        let mut cfg = presets::drr_paper();
+        cfg.split_min = crate::space::trees::SplitMinSizes::Floored;
+        cfg.params.split_floor = 256;
+        cfg.params.trim_threshold = None;
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        let big = m.alloc(1000).unwrap();
+        m.free(big).unwrap();
+        // Splitting a ~1 KiB block for a 800-byte request leaves < 256
+        // bytes of remainder => no split; block allocated whole.
+        let h = m.alloc(800).unwrap();
+        assert_eq!(m.stats().splits, 0);
+        assert!(m.stats().live_block >= 1000);
+        m.free(h).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arena_limit_surfaces_out_of_memory() {
+        let mut cfg = presets::drr_paper();
+        cfg.params.arena_limit = Some(8192);
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        let _a = m.alloc(4000).unwrap();
+        let _b = m.alloc(3000).unwrap();
+        let err = m.alloc(4000).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }));
+        // State stays consistent after the failure.
+        m.check_invariants().unwrap();
+        assert!(m.alloc(500).is_ok());
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut m = drr();
+        let _ = m.alloc(100).unwrap();
+        let _ = m.alloc(200).unwrap();
+        m.reset();
+        m.check_invariants().unwrap();
+        assert_eq!(m.stats().allocs, 0);
+        assert_eq!(m.footprint(), m.stats().static_overhead);
+        let h = m.alloc(64).unwrap();
+        m.free(h).unwrap();
+    }
+
+    #[test]
+    fn exact_fit_reuses_same_size_blocks_without_growth() {
+        let mut cfg = presets::drr_paper();
+        cfg.params.trim_threshold = None; // keep freed memory resident
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        let h = m.alloc(300).unwrap();
+        m.free(h).unwrap();
+        let brk = m.stats().system;
+        for _ in 0..10 {
+            let h = m.alloc(300).unwrap();
+            m.free(h).unwrap();
+        }
+        assert_eq!(m.stats().system, brk, "steady-state reuse must not grow");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tagless_fixed_class_manager_works() {
+        // A3 = none is only coherent with no split/coalesce; build such a
+        // manager and verify it still serves requests.
+        let cfg = DmConfig::builder("tagless")
+            .leaf(Leaf::A3(crate::space::trees::BlockTags::None))
+            .unwrap()
+            .leaf(Leaf::A2(crate::space::trees::BlockSizes::PowerOfTwoClasses))
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        assert_eq!(m.tag_bytes, 0);
+        let h = m.alloc(60).unwrap();
+        // 60 bytes + 0 tag -> 64-byte class exactly.
+        assert_eq!(m.stats().live_block, 64);
+        m.free(h).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tag_overhead_is_charged_per_config() {
+        // Same trace, three tag configurations, strictly ordered overhead.
+        let base = presets::drr_paper();
+        let mut footer_both = base.clone();
+        footer_both.block_tags = BlockTags::HeaderAndFooter;
+        footer_both.name = "both".into();
+        let mut none_mgr = presets::kingsley_like();
+        none_mgr.block_tags = BlockTags::None;
+        none_mgr.recorded_info = crate::space::trees::RecordedInfo::None;
+        none_mgr.flexible_size = crate::space::trees::FlexibleSize::None;
+        none_mgr.coalesce_when = CoalesceWhen::Never;
+        none_mgr.split_when = SplitWhen::Never;
+        none_mgr.name = "none".into();
+        none_mgr.validate().unwrap();
+
+        // 121 bytes: header-only tags give 121+4 -> 128; header+footer tags
+        // give 121+8 -> 136 (a size where the rounding does not mask the
+        // extra tag).
+        let block_of = |cfg: DmConfig| {
+            let mut m = PolicyAllocator::new(cfg).unwrap();
+            let _ = m.alloc(121).unwrap();
+            m.stats().live_block
+        };
+        let header = block_of(base);
+        let both = block_of(footer_both);
+        assert!(both > header, "two tags must cost more than one");
+    }
+
+    #[test]
+    fn search_steps_accumulate() {
+        let mut m = drr();
+        let h = m.alloc(100).unwrap();
+        let after_alloc = m.stats().search_steps;
+        assert!(after_alloc > 0);
+        m.free(h).unwrap();
+        assert!(m.stats().search_steps > after_alloc);
+    }
+
+    #[test]
+    fn realloc_grows_in_place_into_free_neighbour() {
+        let mut m = drr();
+        let a = m.alloc(200).unwrap();
+        let b = m.alloc(200).unwrap();
+        let _guard = m.alloc(64).unwrap(); // keeps the arena from trimming
+        m.free(b).unwrap(); // the block after `a` is now free
+        let allocs_before = m.stats().allocs;
+        let grown = m.realloc(a, 350).unwrap();
+        assert_eq!(grown.offset(), a.offset(), "in-place growth");
+        assert_eq!(m.stats().allocs, allocs_before, "no new allocation");
+        assert_eq!(m.stats().reallocs_in_place, 1);
+        assert_eq!(m.stats().live_requested, 350 + 64);
+        m.check_invariants().unwrap();
+        m.free(grown).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn realloc_shrinks_in_place_and_releases_the_tail() {
+        let mut m = drr();
+        let a = m.alloc(1000).unwrap();
+        let _guard = m.alloc(64).unwrap();
+        let before_block = m.stats().live_block;
+        let shrunk = m.realloc(a, 200).unwrap();
+        assert_eq!(shrunk.offset(), a.offset(), "in-place shrink");
+        assert!(m.stats().live_block < before_block, "tail released");
+        assert_eq!(m.stats().live_requested, 200 + 64);
+        assert!(m.stats().splits >= 1);
+        m.check_invariants().unwrap();
+        // The released tail is reusable without growing the arena.
+        let sbrks = m.stats().sbrk_calls;
+        let c = m.alloc(500).unwrap();
+        assert_eq!(m.stats().sbrk_calls, sbrks, "tail served the request");
+        m.free(c).unwrap();
+        m.free(shrunk).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn realloc_moves_when_no_neighbour_is_free() {
+        let mut m = drr();
+        let a = m.alloc(200).unwrap();
+        let _wall = m.alloc(200).unwrap(); // pins the next block
+        let moved = m.realloc(a, 5000).unwrap();
+        assert_ne!(moved.offset(), a.offset(), "blocked growth must move");
+        assert_eq!(m.stats().live_requested, 5000 + 200);
+        m.check_invariants().unwrap();
+        // Old handle is dead now.
+        assert!(m.free(a).is_err());
+        m.free(moved).unwrap();
+    }
+
+    #[test]
+    fn realloc_same_class_is_trivial() {
+        let mut m = kingsley();
+        let a = m.alloc(100).unwrap(); // 128-byte class
+        let same = m.realloc(a, 110).unwrap(); // still the 128-byte class
+        assert_eq!(same.offset(), a.offset());
+        assert_eq!(m.stats().reallocs_in_place, 1);
+        m.free(same).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn realloc_of_dead_handle_is_rejected() {
+        let mut m = drr();
+        let a = m.alloc(64).unwrap();
+        m.free(a).unwrap();
+        assert!(m.realloc(a, 128).is_err());
+    }
+
+    #[test]
+    fn realloc_stress_keeps_invariants_and_accounting() {
+        let mut m = drr();
+        let mut live: Vec<(BlockHandle, usize)> = Vec::new();
+        let mut x: u64 = 0xA5A5A5A55A5A5A5A;
+        for i in 0..1500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match x % 4 {
+                0 | 1 => {
+                    let size = 16 + (x as usize % 1200);
+                    live.push((m.alloc(size).unwrap(), size));
+                }
+                2 if !live.is_empty() => {
+                    let idx = (x as usize / 5) % live.len();
+                    let (h, _) = live.swap_remove(idx);
+                    m.free(h).unwrap();
+                }
+                _ if !live.is_empty() => {
+                    let idx = (x as usize / 7) % live.len();
+                    let new_size = 16 + (x as usize / 11 % 2000);
+                    let (h, _) = live.swap_remove(idx);
+                    let h = m.realloc(h, new_size).unwrap();
+                    live.push((h, new_size));
+                }
+                _ => {}
+            }
+            if i % 300 == 0 {
+                m.check_invariants().unwrap_or_else(|e| panic!("op {i}: {e}"));
+                let expect: usize = live.iter().map(|(_, s)| *s).sum();
+                assert_eq!(m.stats().live_requested, expect, "op {i}");
+            }
+        }
+        for (h, _) in live {
+            m.free(h).unwrap();
+        }
+        m.check_invariants().unwrap();
+        assert_eq!(m.stats().live_requested, 0);
+        assert!(m.stats().reallocs > 0);
+        assert!(m.stats().reallocs_in_place > 0, "some reallocs stay in place");
+    }
+
+    #[test]
+    fn many_interleaved_ops_keep_invariants() {
+        // Deterministic pseudo-random interleaving across all presets.
+        for cfg in presets::all() {
+            let mut m = PolicyAllocator::new(cfg).unwrap();
+            let mut live: Vec<BlockHandle> = Vec::new();
+            let mut x: u64 = 0x2545F4914F6CDD1D;
+            for i in 0..2000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if live.is_empty() || x % 3 != 0 {
+                    let size = 16 + (x as usize % 2000);
+                    live.push(m.alloc(size).unwrap());
+                } else {
+                    let idx = (x as usize / 7) % live.len();
+                    let h = live.swap_remove(idx);
+                    m.free(h).unwrap();
+                }
+                if i % 500 == 0 {
+                    m.check_invariants()
+                        .unwrap_or_else(|e| panic!("{} at op {i}: {e}", m.name()));
+                }
+            }
+            for h in live {
+                m.free(h).unwrap();
+            }
+            m.check_invariants()
+                .unwrap_or_else(|e| panic!("{} final: {e}", m.name()));
+            assert_eq!(m.stats().live_requested, 0);
+        }
+    }
+}

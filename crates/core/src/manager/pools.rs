@@ -1,0 +1,289 @@
+//! Pool routing — the implementations of trees B1 (*pool division based on
+//! size*), B4 (*pool structure*) and the class rounding of A2
+//! (*block sizes*).
+//!
+//! A pool owns one free-block index. With a single pool everything routes to
+//! pool 0; with per-class pools the request is classed first (power-of-two
+//! or profiled classes) and routed through the pool index structure, whose
+//! shape (array / list / tree) determines both the routing step cost and the
+//! descriptor overhead bytes.
+
+use crate::heap::block::Span;
+use crate::heap::index::{new_index, FreeIndex};
+use crate::space::config::DmConfig;
+use crate::space::trees::{BlockSizes, BlockStructure, FitAlgorithm, PoolDivision, PoolStructure};
+use crate::units::{align_up, pow2_class, MIN_ALIGN, MIN_BLOCK, POINTER_BYTES, SIZE_FIELD_BYTES};
+
+/// Sentinel pool id for free blocks that are deliberately *not* indexed
+/// (carving slack that a non-coalescing manager can never reuse).
+pub const UNINDEXED: usize = usize::MAX;
+
+/// Bytes of one pool descriptor, depending on the B4 structure:
+/// class size + block count + index anchor, plus the link fields the
+/// structure itself needs.
+fn descriptor_bytes(structure: PoolStructure) -> usize {
+    let base = SIZE_FIELD_BYTES + SIZE_FIELD_BYTES + POINTER_BYTES;
+    match structure {
+        PoolStructure::Array => base,
+        PoolStructure::LinkedList => base + POINTER_BYTES,
+        PoolStructure::BinaryTree => base + 2 * POINTER_BYTES,
+    }
+}
+
+/// The pool set of one policy allocator.
+pub struct Pools {
+    division: PoolDivision,
+    structure: PoolStructure,
+    sizes: BlockSizes,
+    block_structure: BlockStructure,
+    /// Ascending class ceilings for `ProfiledClasses` routing.
+    profiled: Vec<usize>,
+    indexes: Vec<Box<dyn FreeIndex + Send>>,
+}
+
+impl std::fmt::Debug for Pools {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pools")
+            .field("division", &self.division)
+            .field("structure", &self.structure)
+            .field("pool_count", &self.indexes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pools {
+    /// Build the pool set for a configuration.
+    pub fn new(cfg: &DmConfig) -> Self {
+        let mut pools = Pools {
+            division: cfg.pool_division,
+            structure: cfg.pool_structure,
+            sizes: cfg.block_sizes,
+            block_structure: cfg.block_structure,
+            profiled: cfg.params.profiled_classes.clone(),
+            indexes: Vec::new(),
+        };
+        // A single pool exists from the start; per-class pools are created
+        // on first use (power-of-two) or up front (profiled).
+        match pools.division {
+            PoolDivision::SinglePool => pools.ensure(0),
+            PoolDivision::PoolPerSizeClass => {
+                if pools.sizes == BlockSizes::ProfiledClasses {
+                    let n = pools.profiled.len() + 1; // +1 overflow pool
+                    pools.ensure(n - 1);
+                }
+            }
+        }
+        pools
+    }
+
+    fn ensure(&mut self, pool: usize) {
+        while self.indexes.len() <= pool {
+            self.indexes.push(new_index(self.block_structure));
+        }
+    }
+
+    /// Round a block length according to the A2 decision.
+    pub fn class_len(&self, len: usize) -> usize {
+        match self.sizes {
+            BlockSizes::Many => len,
+            BlockSizes::PowerOfTwoClasses => pow2_class(len),
+            BlockSizes::ProfiledClasses => self
+                .profiled
+                .iter()
+                .copied()
+                .find(|&c| c >= len)
+                .unwrap_or_else(|| align_up(len.max(MIN_BLOCK), MIN_ALIGN)),
+        }
+    }
+
+    /// Pool id a block of `len` bytes belongs to, charging the routing cost
+    /// of the B4 structure.
+    pub fn route(&mut self, len: usize, steps: &mut u64) -> usize {
+        let pool = match self.division {
+            PoolDivision::SinglePool => 0,
+            PoolDivision::PoolPerSizeClass => match self.sizes {
+                BlockSizes::ProfiledClasses => self
+                    .profiled
+                    .iter()
+                    .position(|&c| c >= len)
+                    .unwrap_or(self.profiled.len()),
+                // Power-of-two routing also classes `Many` blocks for
+                // segregated-fit storage; the block keeps its exact size.
+                BlockSizes::PowerOfTwoClasses | BlockSizes::Many => {
+                    let class = pow2_class(len);
+                    (class.trailing_zeros() - MIN_BLOCK.trailing_zeros()) as usize
+                }
+            },
+        };
+        self.ensure(pool);
+        *steps += match self.structure {
+            PoolStructure::Array => 1,
+            PoolStructure::LinkedList => pool as u64 + 1,
+            PoolStructure::BinaryTree => {
+                (usize::BITS - self.indexes.len().max(1).leading_zeros()) as u64
+            }
+        };
+        pool
+    }
+
+    /// Mutable access to one pool's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` does not exist (route first) or is [`UNINDEXED`].
+    pub fn index_mut(&mut self, pool: usize) -> &mut (dyn FreeIndex + Send) {
+        assert_ne!(pool, UNINDEXED, "unindexed pseudo-pool has no index");
+        self.indexes[pool].as_mut()
+    }
+
+    /// Number of materialised pools.
+    pub fn pool_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Total free spans across all pools.
+    pub fn total_free(&self) -> usize {
+        self.indexes.iter().map(|i| i.len()).sum()
+    }
+
+    /// Snapshot of every indexed span with its pool id.
+    pub fn all_spans(&self) -> Vec<(usize, Span)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .flat_map(|(p, idx)| idx.spans().into_iter().map(move |s| (p, s)))
+            .collect()
+    }
+
+    /// Pools with ids strictly greater than `pool`, for larger-class
+    /// fallback searches.
+    pub fn pools_above(&self, pool: usize) -> std::ops::Range<usize> {
+        (pool + 1)..self.indexes.len()
+    }
+
+    /// Search one pool (convenience wrapper).
+    pub fn find_in(
+        &mut self,
+        pool: usize,
+        fit: FitAlgorithm,
+        len: usize,
+        steps: &mut u64,
+    ) -> Option<Span> {
+        self.indexes[pool].find(fit, len, steps)
+    }
+
+    /// Static control-structure bytes: pool descriptors plus each index's
+    /// own anchors — the paper's *assisting data structures* overhead
+    /// (Section 4.1, factor 1b).
+    pub fn static_overhead(&self) -> usize {
+        self.indexes
+            .iter()
+            .map(|i| descriptor_bytes(self.structure) + i.control_overhead_bytes())
+            .sum()
+    }
+
+    /// Drop every indexed span (blocks themselves live in the block map).
+    pub fn clear(&mut self) {
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::presets;
+
+    #[test]
+    fn single_pool_routes_everything_to_zero() {
+        let mut pools = Pools::new(&presets::drr_paper());
+        let mut s = 0u64;
+        assert_eq!(pools.route(16, &mut s), 0);
+        assert_eq!(pools.route(1 << 20, &mut s), 0);
+        assert_eq!(pools.pool_count(), 1);
+    }
+
+    #[test]
+    fn pow2_routing_grows_pools_on_demand() {
+        let mut pools = Pools::new(&presets::kingsley_like());
+        let mut s = 0u64;
+        let p16 = pools.route(16, &mut s);
+        let p32 = pools.route(32, &mut s);
+        let p17 = pools.route(17, &mut s); // classes to 32
+        assert_eq!(p16, 0);
+        assert_eq!(p32, 1);
+        assert_eq!(p17, 1);
+        let p4k = pools.route(4096, &mut s);
+        assert_eq!(p4k, 8); // 16<<8 = 4096
+        assert_eq!(pools.pool_count(), 9);
+    }
+
+    #[test]
+    fn class_len_matches_a2_decision() {
+        let pools = Pools::new(&presets::kingsley_like());
+        assert_eq!(pools.class_len(1), 16);
+        assert_eq!(pools.class_len(100), 128);
+        assert_eq!(pools.class_len(128), 128);
+
+        let pools = Pools::new(&presets::drr_paper());
+        assert_eq!(pools.class_len(100), 100, "many sizes keep exact lengths");
+    }
+
+    #[test]
+    fn profiled_classes_route_with_overflow_pool() {
+        let mut cfg = presets::kingsley_like();
+        cfg.block_sizes = crate::space::trees::BlockSizes::ProfiledClasses;
+        cfg.params.profiled_classes = vec![32, 64, 256];
+        cfg.validate().unwrap();
+        let mut pools = Pools::new(&cfg);
+        let mut s = 0u64;
+        assert_eq!(pools.route(20, &mut s), 0);
+        assert_eq!(pools.route(64, &mut s), 1);
+        assert_eq!(pools.route(65, &mut s), 2);
+        assert_eq!(pools.route(1000, &mut s), 3, "overflow pool");
+        assert_eq!(pools.class_len(20), 32);
+        assert_eq!(pools.class_len(1000), align_up(1000, MIN_ALIGN));
+    }
+
+    #[test]
+    fn routing_cost_depends_on_pool_structure() {
+        use crate::space::trees::{Leaf, PoolStructure};
+        let mk = |ps: PoolStructure| {
+            let cfg = presets::kingsley_like().with_leaf(Leaf::B4(ps));
+            Pools::new(&cfg)
+        };
+        for (ps, expect_more_than_array) in [
+            (PoolStructure::Array, false),
+            (PoolStructure::LinkedList, true),
+            (PoolStructure::BinaryTree, true),
+        ] {
+            let mut pools = mk(ps);
+            let mut s = 0u64;
+            // Populate several pools, then route to a high class.
+            for len in [16, 32, 64, 128, 256, 512] {
+                pools.route(len, &mut s);
+            }
+            let mut cost = 0u64;
+            pools.route(512, &mut cost);
+            if expect_more_than_array {
+                assert!(cost > 1, "{ps:?} should cost more than an array hop");
+            } else {
+                assert_eq!(cost, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn static_overhead_scales_with_pool_count() {
+        let mut pools = Pools::new(&presets::kingsley_like());
+        let mut s = 0u64;
+        let before = pools.static_overhead();
+        pools.route(1 << 16, &mut s); // force many pools into existence
+        let after = pools.static_overhead();
+        assert!(after > before);
+        // Array descriptor (12) + SLL head (4) per pool.
+        assert_eq!(after % pools.pool_count(), 0);
+        assert_eq!(after / pools.pool_count(), 16);
+    }
+}

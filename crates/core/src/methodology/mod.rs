@@ -1,0 +1,632 @@
+//! The design methodology (Sections 4–5): traverse the decision trees in
+//! the footprint-oriented order, simulate every admissible leaf against the
+//! application's profiled trace, fix the best, propagate its constraints,
+//! and continue — producing a custom DM manager for the application (and,
+//! with phase markers, one atomic manager per phase composed into a global
+//! manager).
+//!
+//! Two evaluation styles are provided:
+//!
+//! - [`CompletionStyle::Simulated`] — the methodology proper: a candidate
+//!   leaf is scored by completing the remaining trees with *preferred*
+//!   admissible defaults and replaying the trace;
+//! - [`CompletionStyle::Myopic`] — the strawman designer of Figure 4: the
+//!   completion assumes *no* machinery for undecided trees, so early tag
+//!   decisions see only their own overhead ("the obvious choice to save
+//!   memory space would be to choose the None leaf") and the propagated
+//!   constraints then lock fragmentation handling out. Used by the order
+//!   ablation experiment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::manager::{GlobalManager, PolicyAllocator};
+use crate::metrics::FootprintStats;
+use crate::profile::Profile;
+use crate::space::config::{DmConfig, Params, PartialConfig};
+use crate::space::interdep::{admissible_leaves, default_leaf};
+use crate::space::order::TRAVERSAL_ORDER;
+use crate::space::trees::{
+    BlockSizes, BlockStructure, BlockTags, CoalesceMaxSizes, CoalesceWhen, FitAlgorithm,
+    FlexibleSize, Leaf, PoolDivision, PoolStructure, RecordedInfo, SplitMinSizes, SplitWhen,
+    TreeId,
+};
+use crate::trace::{replay, Trace};
+
+/// How undecided trees are filled while scoring a candidate leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompletionStyle {
+    /// Preferred admissible defaults (split/coalesce-capable) — the real
+    /// methodology.
+    Simulated,
+    /// Minimal-machinery defaults (no tags, never split/coalesce where
+    /// admissible) — models the naive designer of Figure 4.
+    Myopic,
+}
+
+/// The evaluation of one candidate leaf during exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateEval {
+    /// The leaf under evaluation.
+    pub leaf: Leaf,
+    /// Peak footprint of the completed configuration on the trace.
+    pub peak_footprint: usize,
+    /// Search steps of the completed configuration (tie-breaker).
+    pub search_steps: u64,
+}
+
+/// The record of one tree's decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Which tree was decided.
+    pub tree: TreeId,
+    /// The chosen leaf.
+    pub chosen: Leaf,
+    /// Every admissible candidate with its score.
+    pub candidates: Vec<CandidateEval>,
+}
+
+/// Result of exploring one trace.
+#[derive(Debug, Clone)]
+pub struct ExplorationOutcome {
+    /// The custom manager configuration the methodology designed.
+    pub config: DmConfig,
+    /// Replay statistics of the final configuration on the input trace.
+    pub footprint: FootprintStats,
+    /// Per-tree decision log, in traversal order.
+    pub decisions: Vec<DecisionRecord>,
+    /// Total number of trace replays spent.
+    pub evaluations: usize,
+    /// The profile that seeded the parameters.
+    pub profile: Profile,
+}
+
+/// Result of per-phase exploration (Section 3.3).
+#[derive(Debug, Clone)]
+pub struct PhasedOutcome {
+    /// One designed configuration per phase, in phase order.
+    pub phase_configs: Vec<(u32, DmConfig)>,
+    /// Replay statistics of the composed global manager on the full trace.
+    pub footprint: FootprintStats,
+    /// Per-phase exploration outcomes.
+    pub per_phase: Vec<(u32, ExplorationOutcome)>,
+}
+
+/// What the per-tree argmin optimises.
+///
+/// The paper optimises footprint and notes that "trade-offs between the
+/// relevant design factors (e.g. improving performance consuming a little
+/// more memory footprint) are possible using our methodology" — the
+/// weighted objective implements exactly that knob.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimise peak footprint; break ties on search steps (the default).
+    Footprint,
+    /// Minimise `peak_footprint + step_weight × search_steps`: raising the
+    /// weight trades memory for speed.
+    Weighted {
+        /// Bytes of footprint one search step is worth.
+        step_weight: f64,
+    },
+}
+
+impl Objective {
+    fn score(self, eval: &CandidateEval) -> f64 {
+        match self {
+            Objective::Footprint => eval.peak_footprint as f64,
+            Objective::Weighted { step_weight } => {
+                eval.peak_footprint as f64 + step_weight * eval.search_steps as f64
+            }
+        }
+    }
+}
+
+/// The methodology driver.
+#[derive(Debug, Clone)]
+pub struct Methodology {
+    order: Vec<TreeId>,
+    style: CompletionStyle,
+    objective: Objective,
+    max_classes: usize,
+    name: String,
+}
+
+impl Default for Methodology {
+    fn default() -> Self {
+        Methodology::new()
+    }
+}
+
+impl Methodology {
+    /// The paper's methodology: traversal order of Section 4.2, simulated
+    /// evaluation.
+    pub fn new() -> Self {
+        Methodology {
+            order: TRAVERSAL_ORDER.to_vec(),
+            style: CompletionStyle::Simulated,
+            objective: Objective::Footprint,
+            max_classes: 8,
+            name: "custom (methodology)".into(),
+        }
+    }
+
+    /// Change the optimisation objective (footprint vs. weighted
+    /// footprint/performance trade-off).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Use a different traversal order (for the Figure 4 ablation).
+    pub fn with_order(mut self, order: &[TreeId]) -> Self {
+        assert_eq!(order.len(), TreeId::ALL.len(), "order must cover all trees");
+        self.order = order.to_vec();
+        self
+    }
+
+    /// Use a different completion style.
+    pub fn with_style(mut self, style: CompletionStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Name given to designed configurations.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Derive the quantitative parameters from a profile.
+    fn seed_params(&self, profile: &Profile) -> Params {
+        let mut params = Params::footprint_optimised();
+        // Tag width is unknown before A3/A4 are decided; seed classes with a
+        // plain 4-byte header, the neutral default.
+        params.profiled_classes = profile.suggested_classes(self.max_classes, 4);
+        if params.profiled_classes.is_empty() {
+            params.profiled_classes = vec![crate::units::MIN_BLOCK];
+        }
+        params
+    }
+
+    fn complete(&self, partial: &PartialConfig, params: &Params) -> Result<DmConfig> {
+        let mut p = partial.clone();
+        for tree in &self.order {
+            if p.get(*tree).is_none() {
+                let leaf = match self.style {
+                    CompletionStyle::Simulated => default_leaf(*tree, &p)?,
+                    CompletionStyle::Myopic => myopic_leaf(*tree, &p)?,
+                };
+                p.set(leaf);
+            }
+        }
+        p.freeze(self.name.clone(), params.clone())
+    }
+
+    /// Run the methodology on one trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the trace is empty or a candidate manager fails
+    /// (e.g. an arena limit in `params`).
+    pub fn explore(&self, trace: &Trace) -> Result<ExplorationOutcome> {
+        if trace.is_empty() {
+            return Err(Error::EmptySearchSpace("cannot explore an empty trace".into()));
+        }
+        let profile = Profile::of(trace);
+        let params = self.seed_params(&profile);
+        let mut partial = PartialConfig::default();
+        let mut decisions = Vec::with_capacity(self.order.len());
+        let mut evaluations = 0usize;
+
+        for &tree in &self.order {
+            let candidates = admissible_leaves(tree, &partial);
+            if candidates.is_empty() {
+                return Err(Error::EmptySearchSpace(format!(
+                    "tree {} has no admissible leaf",
+                    tree.code()
+                )));
+            }
+            let mut evals = Vec::with_capacity(candidates.len());
+            for leaf in candidates {
+                let mut trial = partial.clone();
+                trial.set(leaf);
+                let cfg = self.complete(&trial, &params)?;
+                let mut mgr = PolicyAllocator::new(cfg)?;
+                let fs = replay(trace, &mut mgr)?;
+                evaluations += 1;
+                evals.push(CandidateEval {
+                    leaf,
+                    peak_footprint: fs.peak_footprint,
+                    search_steps: fs.stats.search_steps,
+                });
+            }
+            let objective = self.objective;
+            let best = evals
+                .iter()
+                .min_by(|a, b| {
+                    objective
+                        .score(a)
+                        .partial_cmp(&objective.score(b))
+                        .expect("scores are finite")
+                        .then(a.search_steps.cmp(&b.search_steps))
+                })
+                .expect("candidates checked non-empty")
+                .clone();
+            partial.set(best.leaf);
+            decisions.push(DecisionRecord {
+                tree,
+                chosen: best.leaf,
+                candidates: evals,
+            });
+        }
+
+        let config = partial.freeze(self.name.clone(), params)?;
+        config.validate()?;
+        let mut mgr = PolicyAllocator::new(config.clone())?;
+        let footprint = replay(trace, &mut mgr)?;
+        Ok(ExplorationOutcome {
+            config,
+            footprint,
+            decisions,
+            evaluations,
+            profile,
+        })
+    }
+
+    /// Run the methodology per phase and compose the atomic managers into
+    /// the application's global manager (Section 3.3).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Methodology::explore`].
+    pub fn explore_phases(&self, trace: &Trace) -> Result<PhasedOutcome> {
+        let parts = trace.split_phases();
+        if parts.is_empty() {
+            return Err(Error::EmptySearchSpace("trace has no events".into()));
+        }
+        let mut per_phase = Vec::with_capacity(parts.len());
+        let mut phase_configs = Vec::with_capacity(parts.len());
+        for (phase, sub) in &parts {
+            let outcome = self
+                .clone()
+                .with_name(format!("{} [phase {phase}]", self.name))
+                .explore(sub)?;
+            phase_configs.push((*phase, outcome.config.clone()));
+            per_phase.push((*phase, outcome));
+        }
+        let mut global = GlobalManager::new_mapped(
+            format!("{} [global]", self.name),
+            phase_configs.clone(),
+        )?;
+        let footprint = replay(trace, &mut global)?;
+        Ok(PhasedOutcome {
+            phase_configs,
+            footprint,
+            per_phase,
+        })
+    }
+}
+
+/// Minimal-machinery admissible leaf — the myopic designer's preference.
+fn myopic_leaf(tree: TreeId, partial: &PartialConfig) -> Result<Leaf> {
+    let prefs: Vec<Leaf> = match tree {
+        TreeId::A1BlockStructure => vec![
+            Leaf::A1(BlockStructure::SinglyLinkedList),
+            Leaf::A1(BlockStructure::DoublyLinkedList),
+        ],
+        TreeId::A2BlockSizes => vec![
+            Leaf::A2(BlockSizes::Many),
+            Leaf::A2(BlockSizes::PowerOfTwoClasses),
+        ],
+        TreeId::A3BlockTags => vec![Leaf::A3(BlockTags::None), Leaf::A3(BlockTags::Header)],
+        TreeId::A4RecordedInfo => vec![
+            Leaf::A4(RecordedInfo::None),
+            Leaf::A4(RecordedInfo::Size),
+            Leaf::A4(RecordedInfo::SizeAndStatus),
+        ],
+        TreeId::A5FlexibleSize => vec![
+            Leaf::A5(FlexibleSize::None),
+            Leaf::A5(FlexibleSize::SplitOnly),
+            Leaf::A5(FlexibleSize::CoalesceOnly),
+            Leaf::A5(FlexibleSize::SplitAndCoalesce),
+        ],
+        TreeId::B1PoolDivision => vec![Leaf::B1(PoolDivision::SinglePool)],
+        TreeId::B4PoolStructure => vec![Leaf::B4(PoolStructure::Array)],
+        TreeId::C1FitAlgorithm => vec![Leaf::C1(FitAlgorithm::FirstFit)],
+        TreeId::D1CoalesceMaxSizes => vec![
+            Leaf::D1(CoalesceMaxSizes::Unlimited),
+            Leaf::D1(CoalesceMaxSizes::Capped),
+        ],
+        TreeId::D2CoalesceWhen => vec![
+            Leaf::D2(CoalesceWhen::Never),
+            Leaf::D2(CoalesceWhen::Always),
+            Leaf::D2(CoalesceWhen::Deferred),
+        ],
+        TreeId::E1SplitMinSizes => vec![
+            Leaf::E1(SplitMinSizes::Unrestricted),
+            Leaf::E1(SplitMinSizes::Floored),
+        ],
+        TreeId::E2SplitWhen => vec![
+            Leaf::E2(SplitWhen::Never),
+            Leaf::E2(SplitWhen::Always),
+            Leaf::E2(SplitWhen::Threshold),
+        ],
+    };
+    let admissible = admissible_leaves(tree, partial);
+    prefs
+        .into_iter()
+        .chain(admissible.iter().copied())
+        .find(|l| admissible.contains(l))
+        .ok_or_else(|| {
+            Error::EmptySearchSpace(format!("no admissible leaf for {}", tree.code()))
+        })
+}
+
+/// One point of the footprint/performance trade-off curve.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// Step weight that produced this design.
+    pub step_weight: f64,
+    /// The designed configuration.
+    pub config: DmConfig,
+    /// Peak footprint on the input trace.
+    pub peak_footprint: usize,
+    /// Search steps on the input trace.
+    pub search_steps: u64,
+}
+
+/// Sweep the weighted objective over `step_weights` and return the
+/// resulting designs — the paper's closing "trade-offs … are possible"
+/// remark as a concrete Pareto sweep.
+///
+/// # Errors
+///
+/// Propagates exploration failures.
+pub fn tradeoff_curve(trace: &Trace, step_weights: &[f64]) -> Result<Vec<TradeoffPoint>> {
+    let mut points = Vec::with_capacity(step_weights.len());
+    for &w in step_weights {
+        let outcome = Methodology::new()
+            .with_objective(if w == 0.0 {
+                Objective::Footprint
+            } else {
+                Objective::Weighted { step_weight: w }
+            })
+            .with_name(format!("custom (step weight {w})"))
+            .explore(trace)?;
+        points.push(TradeoffPoint {
+            step_weight: w,
+            config: outcome.config,
+            peak_footprint: outcome.footprint.peak_footprint,
+            search_steps: outcome.footprint.stats.search_steps,
+        });
+    }
+    Ok(points)
+}
+
+/// Exhaustively evaluate (a bounded prefix of) the pruned space.
+///
+/// Returns the best configuration, its peak footprint, and the number of
+/// configurations evaluated. Used to measure the greedy/optimal gap.
+///
+/// # Errors
+///
+/// Propagates replay errors; errors if the space yields nothing.
+pub fn exhaustive_best(
+    trace: &Trace,
+    params: Params,
+    limit: Option<usize>,
+) -> Result<(DmConfig, usize, usize)> {
+    let iter = crate::space::enumerate::SpaceIter::with_order_and_params(
+        TRAVERSAL_ORDER.to_vec(),
+        params,
+    );
+    let mut best: Option<(DmConfig, usize)> = None;
+    let mut evaluated = 0usize;
+    for cfg in iter.take(limit.unwrap_or(usize::MAX)) {
+        let mut mgr = PolicyAllocator::new(cfg.clone())?;
+        let fs = replay(trace, &mut mgr)?;
+        evaluated += 1;
+        if best.as_ref().map_or(true, |(_, b)| fs.peak_footprint < *b) {
+            best = Some((cfg, fs.peak_footprint));
+        }
+    }
+    let (cfg, peak) =
+        best.ok_or_else(|| Error::EmptySearchSpace("no configuration enumerated".into()))?;
+    Ok((cfg, peak, evaluated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::presets;
+
+    /// Variable-size trace with interleaved lifetimes — the fragmenting
+    /// behaviour the DRR case study exhibits.
+    fn fragmenting_trace() -> Trace {
+        let mut b = Trace::builder();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if live.is_empty() || x % 5 < 3 {
+                let size = 24 + (x % 1450) as usize;
+                live.push(b.alloc(size));
+            } else {
+                let idx = (x as usize / 11) % live.len();
+                b.free(live.swap_remove(idx));
+            }
+        }
+        for id in live {
+            b.free(id);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn explore_produces_valid_config_and_full_log() {
+        let t = fragmenting_trace();
+        let outcome = Methodology::new().explore(&t).unwrap();
+        outcome.config.validate().unwrap();
+        assert_eq!(outcome.decisions.len(), 12);
+        assert!(outcome.evaluations >= 12);
+        // Decisions come in the paper's order.
+        let order: Vec<TreeId> = outcome.decisions.iter().map(|d| d.tree).collect();
+        assert_eq!(order, TRAVERSAL_ORDER.to_vec());
+        // Every decision's chosen leaf is the argmin of its candidates.
+        for d in &outcome.decisions {
+            let min = d.candidates.iter().map(|c| c.peak_footprint).min().unwrap();
+            let chosen = d
+                .candidates
+                .iter()
+                .find(|c| c.leaf == d.chosen)
+                .unwrap()
+                .peak_footprint;
+            assert_eq!(chosen, min, "{:?} chose a non-minimal leaf", d.tree);
+        }
+    }
+
+    #[test]
+    fn custom_beats_general_purpose_presets_on_fragmenting_trace() {
+        let t = fragmenting_trace();
+        let outcome = Methodology::new().explore(&t).unwrap();
+        for preset in [presets::kingsley_like(), presets::lea_like()] {
+            let name = preset.name.clone();
+            let mut m = PolicyAllocator::new(preset).unwrap();
+            let fs = replay(&t, &mut m).unwrap();
+            assert!(
+                outcome.footprint.peak_footprint <= fs.peak_footprint,
+                "custom {} > {} {}",
+                outcome.footprint.peak_footprint,
+                name,
+                fs.peak_footprint
+            );
+        }
+    }
+
+    #[test]
+    fn paper_order_is_no_worse_than_myopic_a3_first() {
+        use crate::space::order::A3_FIRST_ORDER;
+        let t = fragmenting_trace();
+        let good = Methodology::new().explore(&t).unwrap();
+        let bad = Methodology::new()
+            .with_order(&A3_FIRST_ORDER[..])
+            .with_style(CompletionStyle::Myopic)
+            .explore(&t)
+            .unwrap();
+        assert!(
+            good.footprint.peak_footprint <= bad.footprint.peak_footprint,
+            "paper order {} vs myopic A3-first {}",
+            good.footprint.peak_footprint,
+            bad.footprint.peak_footprint
+        );
+    }
+
+    #[test]
+    fn myopic_a3_first_locks_out_coalescing() {
+        use crate::space::order::A3_FIRST_ORDER;
+        let t = fragmenting_trace();
+        let bad = Methodology::new()
+            .with_order(&A3_FIRST_ORDER[..])
+            .with_style(CompletionStyle::Myopic)
+            .explore(&t)
+            .unwrap();
+        // The Figure 4 story: whatever A3 chose myopically constrains the
+        // fragmentation trees. If None was chosen, split/coalesce are gone.
+        if bad.config.block_tags == BlockTags::None {
+            assert_eq!(bad.config.coalesce_when, CoalesceWhen::Never);
+            assert_eq!(bad.config.split_when, SplitWhen::Never);
+        }
+    }
+
+    #[test]
+    fn explore_rejects_empty_trace() {
+        let t = Trace::from_events(vec![]).unwrap();
+        assert!(Methodology::new().explore(&t).is_err());
+    }
+
+    #[test]
+    fn phased_exploration_composes_a_global_manager() {
+        let mut b = Trace::builder();
+        b.phase(0);
+        // Phase 0: uniform small blocks, stack-like.
+        let ids: Vec<u64> = (0..64).map(|_| b.alloc(64)).collect();
+        for id in ids.into_iter().rev() {
+            b.free(id);
+        }
+        b.phase(1);
+        // Phase 1: large variable blocks, random order.
+        let mut x: u64 = 7;
+        let mut live = Vec::new();
+        for _ in 0..128 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if live.is_empty() || x % 3 > 0 {
+                live.push(b.alloc(256 + (x % 2048) as usize));
+            } else {
+                let i = (x as usize) % live.len();
+                b.free(live.swap_remove(i));
+            }
+        }
+        for id in live {
+            b.free(id);
+        }
+        let t = b.finish().unwrap();
+
+        let phased = Methodology::new().explore_phases(&t).unwrap();
+        assert_eq!(phased.phase_configs.len(), 2);
+        assert_eq!(phased.per_phase.len(), 2);
+        // The composition serves the full trace.
+        assert_eq!(phased.footprint.stats.allocs as usize, t.alloc_count());
+    }
+
+    #[test]
+    fn tradeoff_sweep_moves_along_the_pareto_front() {
+        let t = fragmenting_trace();
+        let points = tradeoff_curve(&t, &[0.0, 1000.0]).unwrap();
+        assert_eq!(points.len(), 2);
+        let (mem_opt, perf_opt) = (&points[0], &points[1]);
+        // The performance-weighted design must not be slower, and the
+        // footprint-optimal design must not be bigger.
+        assert!(
+            perf_opt.search_steps <= mem_opt.search_steps,
+            "weighted design slower: {} vs {}",
+            perf_opt.search_steps,
+            mem_opt.search_steps
+        );
+        assert!(
+            mem_opt.peak_footprint <= perf_opt.peak_footprint,
+            "footprint design bigger: {} vs {}",
+            mem_opt.peak_footprint,
+            perf_opt.peak_footprint
+        );
+        for p in &points {
+            p.config.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn weighted_objective_with_zero_weight_equals_default() {
+        let t = fragmenting_trace();
+        let a = Methodology::new().explore(&t).unwrap();
+        let b = Methodology::new()
+            .with_objective(Objective::Weighted { step_weight: 0.0 })
+            .explore(&t)
+            .unwrap();
+        assert_eq!(a.config.summary(), b.config.summary());
+    }
+
+    #[test]
+    fn exhaustive_prefix_is_no_better_than_its_own_members() {
+        let t = fragmenting_trace();
+        let params = Methodology::new().seed_params(&Profile::of(&t));
+        let (cfg, peak, n) = exhaustive_best(&t, params, Some(50)).unwrap();
+        assert_eq!(n, 50);
+        cfg.validate().unwrap();
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        let fs = replay(&t, &mut m).unwrap();
+        assert_eq!(fs.peak_footprint, peak);
+    }
+}

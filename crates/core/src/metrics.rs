@@ -1,0 +1,300 @@
+//! Byte-exact footprint accounting (Section 4.1 of the paper).
+//!
+//! The paper decomposes DM footprint into **organisation overhead** (tag
+//! fields and assisting data structures) and **fragmentation waste**
+//! (internal + external). [`AllocStats`] tracks both, live, for any manager
+//! on the simulated heap; [`FootprintStats`] summarises a whole trace
+//! replay; [`TimeSeries`] records the footprint-over-time curve of Figure 5.
+
+use serde::{Deserialize, Serialize};
+
+/// Running statistics of one manager instance.
+///
+/// All byte quantities refer to the modelled 32-bit embedded target.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocStats {
+    /// Bytes the application asked for and has not yet freed.
+    pub live_requested: usize,
+    /// Bytes occupied by live blocks including tags and rounding.
+    pub live_block: usize,
+    /// Bytes currently reserved from the system (arena + control structures).
+    pub system: usize,
+    /// Bytes of static control structures (pool descriptors, list heads…).
+    pub static_overhead: usize,
+    /// Peak of [`AllocStats::live_requested`] over time.
+    pub peak_requested: usize,
+    /// Peak of [`AllocStats::system`] over time — the paper's
+    /// *maximum memory footprint* (Table 1).
+    pub peak_footprint: usize,
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of successful frees.
+    pub frees: u64,
+    /// Number of block splits performed.
+    pub splits: u64,
+    /// Number of block merges performed.
+    pub coalesces: u64,
+    /// Number of times memory was requested from the system.
+    pub sbrk_calls: u64,
+    /// Number of times memory was returned to the system.
+    pub trims: u64,
+    /// Abstract unit-cost steps spent searching free structures — a
+    /// deterministic proxy for execution time, complementing the wall-clock
+    /// Criterion benches.
+    pub search_steps: u64,
+    /// Fit attempts that found no block and fell through to
+    /// coalescing/sbrk.
+    pub failed_fits: u64,
+    /// Number of realloc requests served.
+    pub reallocs: u64,
+    /// Reallocs resolved without moving the block (in-place grow/shrink).
+    pub reallocs_in_place: u64,
+}
+
+impl AllocStats {
+    /// Record a successful allocation of `req` bytes inside a block of
+    /// `block_len` bytes.
+    pub fn on_alloc(&mut self, req: usize, block_len: usize) {
+        self.allocs += 1;
+        self.live_requested += req;
+        self.live_block += block_len;
+        self.peak_requested = self.peak_requested.max(self.live_requested);
+    }
+
+    /// Record an in-place resize (does not count as an alloc or a free).
+    pub fn on_resize(
+        &mut self,
+        old_req: usize,
+        new_req: usize,
+        old_len: usize,
+        new_len: usize,
+    ) {
+        self.live_requested = self.live_requested - old_req + new_req;
+        self.live_block = self.live_block - old_len + new_len;
+        self.peak_requested = self.peak_requested.max(self.live_requested);
+    }
+
+    /// Record a successful free.
+    pub fn on_free(&mut self, req: usize, block_len: usize) {
+        self.frees += 1;
+        self.live_requested = self.live_requested.saturating_sub(req);
+        self.live_block = self.live_block.saturating_sub(block_len);
+    }
+
+    /// Update the system-reserved byte count and its peak.
+    pub fn set_system(&mut self, arena_bytes: usize, static_overhead: usize) {
+        self.static_overhead = static_overhead;
+        self.system = arena_bytes + static_overhead;
+        self.peak_footprint = self.peak_footprint.max(self.system);
+    }
+
+    /// Internal fragmentation: live bytes lost to rounding and tags.
+    pub fn internal_fragmentation(&self) -> usize {
+        self.live_block.saturating_sub(self.live_requested)
+    }
+
+    /// External fragmentation: reserved bytes held in free blocks.
+    pub fn external_fragmentation(&self) -> usize {
+        self.system
+            .saturating_sub(self.static_overhead)
+            .saturating_sub(self.live_block)
+    }
+
+    /// Fraction of reserved memory doing useful work (0.0–1.0).
+    ///
+    /// Returns 1.0 for an empty manager.
+    pub fn utilization(&self) -> f64 {
+        if self.system == 0 {
+            1.0
+        } else {
+            self.live_requested as f64 / self.system as f64
+        }
+    }
+
+    /// Live-count of allocations (allocs − frees).
+    pub fn live_count(&self) -> u64 {
+        self.allocs - self.frees
+    }
+}
+
+/// One sample of the footprint curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Index of the trace event after which the sample was taken.
+    pub event: usize,
+    /// Bytes reserved from the system.
+    pub footprint: usize,
+    /// Bytes the application was using.
+    pub requested: usize,
+    /// Bytes in live blocks (incl. tags/rounding).
+    pub live_block: usize,
+}
+
+/// The footprint-over-time curve of a replay (paper Figure 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sampling period in trace events.
+    pub sample_every: usize,
+    /// Samples, in event order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl TimeSeries {
+    /// Largest footprint in the series.
+    pub fn peak(&self) -> usize {
+        self.points.iter().map(|p| p.footprint).max().unwrap_or(0)
+    }
+
+    /// Render as CSV with header `event,footprint,requested,live_block`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("event,footprint,requested,live_block\n");
+        for p in &self.points {
+            s.push_str(&format!(
+                "{},{},{},{}\n",
+                p.event, p.footprint, p.requested, p.live_block
+            ));
+        }
+        s
+    }
+}
+
+/// Summary of replaying one trace against one manager.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintStats {
+    /// Name of the manager that was measured.
+    pub manager: String,
+    /// Peak bytes reserved from the system — Table 1's metric.
+    pub peak_footprint: usize,
+    /// Bytes still reserved after the last event.
+    pub final_footprint: usize,
+    /// Peak bytes the application itself requested (manager-independent
+    /// lower bound on any manager's footprint).
+    pub peak_requested: usize,
+    /// Number of trace events replayed.
+    pub events: usize,
+    /// Final running statistics.
+    pub stats: AllocStats,
+    /// Optional footprint curve (present when sampling was requested).
+    pub series: Option<TimeSeries>,
+}
+
+impl FootprintStats {
+    /// The paper's improvement formula: how much smaller `self`'s peak is
+    /// relative to `other`'s, in percent.
+    ///
+    /// `improvement_over` of 36.0 means "36 % less footprint than `other`".
+    pub fn improvement_over(&self, other: &FootprintStats) -> f64 {
+        percent_improvement(self.peak_footprint, other.peak_footprint)
+    }
+}
+
+/// Percentage by which `ours` improves on (is smaller than) `theirs`.
+///
+/// Returns 0.0 when `theirs` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_core::metrics::percent_improvement;
+/// assert!((percent_improvement(64, 100) - 36.0).abs() < 1e-9);
+/// ```
+pub fn percent_improvement(ours: usize, theirs: usize) -> f64 {
+    if theirs == 0 {
+        0.0
+    } else {
+        (1.0 - ours as f64 / theirs as f64) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_balance() {
+        let mut s = AllocStats::default();
+        s.on_alloc(100, 112);
+        s.on_alloc(50, 64);
+        assert_eq!(s.live_requested, 150);
+        assert_eq!(s.live_block, 176);
+        assert_eq!(s.internal_fragmentation(), 26);
+        s.on_free(100, 112);
+        s.on_free(50, 64);
+        assert_eq!(s.live_requested, 0);
+        assert_eq!(s.live_block, 0);
+        assert_eq!(s.peak_requested, 150);
+        assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn peaks_are_monotone() {
+        let mut s = AllocStats::default();
+        s.set_system(1000, 24);
+        assert_eq!(s.peak_footprint, 1024);
+        s.set_system(500, 24);
+        assert_eq!(s.system, 524);
+        assert_eq!(s.peak_footprint, 1024, "peak must not decrease");
+        s.set_system(2000, 24);
+        assert_eq!(s.peak_footprint, 2024);
+    }
+
+    #[test]
+    fn fragmentation_identities() {
+        let mut s = AllocStats::default();
+        s.on_alloc(40, 48);
+        s.set_system(4096, 16);
+        // internal + external + requested + static == system
+        assert_eq!(
+            s.internal_fragmentation()
+                + s.external_fragmentation()
+                + s.live_requested
+                + s.static_overhead,
+            s.system
+        );
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut s = AllocStats::default();
+        assert_eq!(s.utilization(), 1.0);
+        s.on_alloc(512, 512);
+        s.set_system(1024, 0);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_improvement_matches_paper_arithmetic() {
+        // Table 1 DRR: custom 1.48e5 vs Lea 2.34e5  => ~36 %.
+        let p = percent_improvement(148_000, 234_000);
+        assert!((p - 36.75).abs() < 0.1, "{p}");
+        // custom vs Kingsley 2.09e6 => ~93 %.
+        let p = percent_improvement(148_000, 2_090_000);
+        assert!((p - 92.9).abs() < 0.1, "{p}");
+        assert_eq!(percent_improvement(10, 0), 0.0);
+    }
+
+    #[test]
+    fn series_csv_and_peak() {
+        let ts = TimeSeries {
+            sample_every: 1,
+            points: vec![
+                SeriesPoint {
+                    event: 0,
+                    footprint: 10,
+                    requested: 5,
+                    live_block: 8,
+                },
+                SeriesPoint {
+                    event: 1,
+                    footprint: 30,
+                    requested: 25,
+                    live_block: 28,
+                },
+            ],
+        };
+        assert_eq!(ts.peak(), 30);
+        let csv = ts.to_csv();
+        assert!(csv.starts_with("event,footprint"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

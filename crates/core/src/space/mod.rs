@@ -1,0 +1,21 @@
+//! The DM-management design search space (Section 3 of the paper).
+//!
+//! - [`trees`] — the orthogonal decision trees and their leaves (Figure 1);
+//! - [`interdep`] — hard/soft interdependencies and constraint propagation
+//!   (Figures 2 and 3);
+//! - [`config`] — complete ([`config::DmConfig`]) and partial configurations;
+//! - [`order`] — the footprint-oriented traversal order (Section 4.2,
+//!   Figure 4);
+//! - [`presets`] — named points of the space, including the paper's DRR
+//!   custom manager and Kingsley/Lea recreations;
+//! - [`enumerate`] — exhaustive enumeration of the pruned space.
+
+pub mod config;
+pub mod enumerate;
+pub mod interdep;
+pub mod order;
+pub mod presets;
+pub mod trees;
+
+pub use config::{DmConfig, DmConfigBuilder, Params, PartialConfig};
+pub use trees::{Category, Leaf, TreeId};

@@ -1,0 +1,105 @@
+//! The traversal order for reduced memory footprint (Section 4.2).
+//!
+//! The paper orders the trees so that the decisions with the largest
+//! influence on footprint are taken first and their constraints propagate
+//! forward without iteration:
+//!
+//! > `A2 -> A5 -> E2 -> D2 -> E1 -> D1 -> B4 -> B1 -> C1 -> A1 -> A3 -> A4`
+//!
+//! Rationale (Section 4.1): the global block structure first (A2, A5); then
+//! *dealing with* fragmentation (categories E and D) before *preventing* it
+//! (categories B and C); finally the remaining bookkeeping trees of
+//! category A.
+
+use crate::space::trees::TreeId;
+
+/// The paper's traversal order, verbatim from Section 4.2.
+pub const TRAVERSAL_ORDER: &[TreeId; 12] = &[
+    TreeId::A2BlockSizes,
+    TreeId::A5FlexibleSize,
+    TreeId::E2SplitWhen,
+    TreeId::D2CoalesceWhen,
+    TreeId::E1SplitMinSizes,
+    TreeId::D1CoalesceMaxSizes,
+    TreeId::B4PoolStructure,
+    TreeId::B1PoolDivision,
+    TreeId::C1FitAlgorithm,
+    TreeId::A1BlockStructure,
+    TreeId::A3BlockTags,
+    TreeId::A4RecordedInfo,
+];
+
+/// An alternative order that decides the block-tag trees (A3/A4) *before*
+/// the fragmentation trees (D/E) — the wrong order of Figure 4, used by the
+/// order-ablation experiment.
+pub const A3_FIRST_ORDER: &[TreeId; 12] = &[
+    TreeId::A3BlockTags,
+    TreeId::A4RecordedInfo,
+    TreeId::A2BlockSizes,
+    TreeId::A5FlexibleSize,
+    TreeId::E2SplitWhen,
+    TreeId::D2CoalesceWhen,
+    TreeId::E1SplitMinSizes,
+    TreeId::D1CoalesceMaxSizes,
+    TreeId::B4PoolStructure,
+    TreeId::B1PoolDivision,
+    TreeId::C1FitAlgorithm,
+    TreeId::A1BlockStructure,
+];
+
+/// The paper order reversed — a second ablation point.
+pub fn reversed_order() -> [TreeId; 12] {
+    let mut o = *TRAVERSAL_ORDER;
+    o.reverse();
+    o
+}
+
+/// Render an order as the paper writes it, e.g. `"A2->A5->…"`.
+pub fn format_order(order: &[TreeId]) -> String {
+    order
+        .iter()
+        .map(|t| t.code())
+        .collect::<Vec<_>>()
+        .join("->")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_order_is_a_permutation_of_all_trees() {
+        let set: HashSet<_> = TRAVERSAL_ORDER.iter().collect();
+        assert_eq!(set.len(), 12);
+        for tree in TreeId::ALL {
+            assert!(set.contains(&tree));
+        }
+    }
+
+    #[test]
+    fn paper_order_matches_section_4_2_string() {
+        assert_eq!(
+            format_order(TRAVERSAL_ORDER),
+            "A2->A5->E2->D2->E1->D1->B4->B1->C1->A1->A3->A4"
+        );
+    }
+
+    #[test]
+    fn ablation_orders_are_permutations() {
+        for order in [&A3_FIRST_ORDER[..], &reversed_order()[..]] {
+            let set: HashSet<_> = order.iter().collect();
+            assert_eq!(set.len(), 12);
+        }
+    }
+
+    #[test]
+    fn fragmentation_cure_precedes_prevention_in_paper_order() {
+        // Categories D and E (cure) come before B and C (prevention).
+        let pos = |t: TreeId| TRAVERSAL_ORDER.iter().position(|x| *x == t).unwrap();
+        assert!(pos(TreeId::E2SplitWhen) < pos(TreeId::B1PoolDivision));
+        assert!(pos(TreeId::D2CoalesceWhen) < pos(TreeId::C1FitAlgorithm));
+        assert!(pos(TreeId::A2BlockSizes) == 0);
+        assert!(pos(TreeId::A4RecordedInfo) == 11);
+    }
+}

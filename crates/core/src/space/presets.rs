@@ -1,0 +1,185 @@
+//! Named points in the search space.
+//!
+//! The paper stresses that the space "can be used not only to recreate any
+//! available general-purpose DM manager, but also create our own new
+//! highly-specialized DM managers". These presets exercise that claim:
+//! [`drr_paper`] is the custom manager of the Section 5 DRR walk-through;
+//! [`kingsley_like`] and [`lea_like`] recreate the two general-purpose
+//! comparators *as configurations* (independent hand-rolled implementations
+//! live in the `dmm-baselines` crate and are cross-checked in tests).
+
+use crate::space::config::{DmConfig, Params};
+use crate::space::trees::{
+    BlockSizes, BlockStructure, BlockTags, CoalesceMaxSizes, CoalesceWhen, FitAlgorithm,
+    FlexibleSize, PoolDivision, PoolStructure, RecordedInfo, SplitMinSizes, SplitWhen,
+};
+use crate::units::SBRK_GRANULARITY;
+
+/// The custom DM manager designed in the paper's Section 5 walk-through for
+/// the Deficit-Round-Robin scheduler.
+///
+/// Decisions, in the traversal order of Section 4.2:
+/// A2 = many block sizes, A5 = split **and** coalesce, E2 = D2 = always,
+/// E1 = D1 = many/not-fixed, B4/B1 = single pool, C1 = exact fit,
+/// A1 = doubly linked list, A3 = header, A4 = size + status.
+pub fn drr_paper() -> DmConfig {
+    DmConfig {
+        name: "custom DM manager 1 (paper DRR)".into(),
+        block_structure: BlockStructure::DoublyLinkedList,
+        block_sizes: BlockSizes::Many,
+        block_tags: BlockTags::Header,
+        recorded_info: RecordedInfo::SizeAndStatus,
+        flexible_size: FlexibleSize::SplitAndCoalesce,
+        pool_division: PoolDivision::SinglePool,
+        pool_structure: PoolStructure::Array,
+        fit: FitAlgorithm::ExactFit,
+        coalesce_max: CoalesceMaxSizes::Unlimited,
+        coalesce_when: CoalesceWhen::Always,
+        split_min: SplitMinSizes::Unrestricted,
+        split_when: SplitWhen::Always,
+        params: Params {
+            // "when large coalesced chunks of memory are not used, they are
+            // returned back to the system for other applications"
+            trim_threshold: Some(SBRK_GRANULARITY),
+            ..Params::default()
+        },
+    }
+}
+
+/// A Kingsley-style power-of-two segregated-freelist manager expressed as a
+/// point in the search space.
+///
+/// Fixed power-of-two classes, no splitting or coalescing, one pool per
+/// class, and memory is never returned to the system — the structural
+/// properties Section 5 blames for its footprint ("only a limited amount of
+/// block sizes is used and thus memory is misused").
+pub fn kingsley_like() -> DmConfig {
+    DmConfig {
+        name: "Kingsley-like (space preset)".into(),
+        block_structure: BlockStructure::SinglyLinkedList,
+        block_sizes: BlockSizes::PowerOfTwoClasses,
+        block_tags: BlockTags::Header,
+        recorded_info: RecordedInfo::Size,
+        flexible_size: FlexibleSize::None,
+        pool_division: PoolDivision::PoolPerSizeClass,
+        pool_structure: PoolStructure::Array,
+        fit: FitAlgorithm::FirstFit,
+        coalesce_max: CoalesceMaxSizes::Unlimited,
+        coalesce_when: CoalesceWhen::Never,
+        split_min: SplitMinSizes::Unrestricted,
+        split_when: SplitWhen::Never,
+        params: Params {
+            trim_threshold: None,
+            ..Params::default()
+        },
+    }
+}
+
+/// A Lea-style (dlmalloc 2.x) manager expressed as a point in the search
+/// space: boundary tags, best fit over size-ordered bins, splitting always,
+/// **deferred** coalescing ("Lea coalesces seldom"), trimming only above a
+/// large threshold.
+pub fn lea_like() -> DmConfig {
+    DmConfig {
+        name: "Lea-like (space preset)".into(),
+        block_structure: BlockStructure::SizeOrderedTree,
+        block_sizes: BlockSizes::Many,
+        block_tags: BlockTags::HeaderAndFooter,
+        recorded_info: RecordedInfo::SizeAndStatus,
+        flexible_size: FlexibleSize::SplitAndCoalesce,
+        pool_division: PoolDivision::PoolPerSizeClass,
+        pool_structure: PoolStructure::Array,
+        fit: FitAlgorithm::BestFit,
+        coalesce_max: CoalesceMaxSizes::Unlimited,
+        coalesce_when: CoalesceWhen::Deferred,
+        split_min: SplitMinSizes::Floored,
+        split_when: SplitWhen::Always,
+        params: Params {
+            trim_threshold: Some(128 * 1024),
+            split_floor: 32,
+            ..Params::default()
+        },
+    }
+}
+
+/// A neutral mid-space manager used as the undecided-tree stand-in during
+/// greedy exploration: first fit over a single pool, immediate split and
+/// coalesce, header tags.
+pub fn neutral() -> DmConfig {
+    DmConfig {
+        name: "neutral".into(),
+        block_structure: BlockStructure::DoublyLinkedList,
+        block_sizes: BlockSizes::Many,
+        block_tags: BlockTags::Header,
+        recorded_info: RecordedInfo::SizeAndStatus,
+        flexible_size: FlexibleSize::SplitAndCoalesce,
+        pool_division: PoolDivision::SinglePool,
+        pool_structure: PoolStructure::Array,
+        fit: FitAlgorithm::FirstFit,
+        coalesce_max: CoalesceMaxSizes::Unlimited,
+        coalesce_when: CoalesceWhen::Always,
+        split_min: SplitMinSizes::Unrestricted,
+        split_when: SplitWhen::Always,
+        params: Params::footprint_optimised(),
+    }
+}
+
+/// Every preset, for exhaustive validation in tests.
+pub fn all() -> Vec<DmConfig> {
+    vec![drr_paper(), kingsley_like(), lea_like(), neutral()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_is_valid() {
+        for cfg in all() {
+            cfg.validate().unwrap_or_else(|e| {
+                panic!("preset '{}' invalid: {e}", cfg.name);
+            });
+        }
+    }
+
+    #[test]
+    fn drr_paper_matches_section5_narrative() {
+        let c = drr_paper();
+        assert_eq!(c.block_sizes, BlockSizes::Many);
+        assert_eq!(c.flexible_size, FlexibleSize::SplitAndCoalesce);
+        assert_eq!(c.split_when, SplitWhen::Always);
+        assert_eq!(c.coalesce_when, CoalesceWhen::Always);
+        assert_eq!(c.coalesce_max, CoalesceMaxSizes::Unlimited);
+        assert_eq!(c.split_min, SplitMinSizes::Unrestricted);
+        assert_eq!(c.pool_division, PoolDivision::SinglePool);
+        assert_eq!(c.fit, FitAlgorithm::ExactFit);
+        assert_eq!(c.block_structure, BlockStructure::DoublyLinkedList);
+        assert_eq!(c.block_tags, BlockTags::Header);
+        assert_eq!(c.recorded_info, RecordedInfo::SizeAndStatus);
+        assert!(c.params.trim_threshold.is_some());
+    }
+
+    #[test]
+    fn kingsley_never_reclaims() {
+        let c = kingsley_like();
+        assert!(!c.may_split());
+        assert!(!c.may_coalesce());
+        assert!(c.params.trim_threshold.is_none());
+        assert!(c.block_sizes.is_fixed());
+    }
+
+    #[test]
+    fn lea_defers_coalescing() {
+        let c = lea_like();
+        assert_eq!(c.coalesce_when, CoalesceWhen::Deferred);
+        assert_eq!(c.params.trim_threshold, Some(128 * 1024));
+        assert_eq!(c.tag_bytes_per_block(), 8); // header + footer, 4 bytes each
+    }
+
+    #[test]
+    fn preset_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            all().into_iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names.len(), all().len());
+    }
+}

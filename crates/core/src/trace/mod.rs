@@ -1,0 +1,486 @@
+//! Allocation traces: recording, validation and replay.
+//!
+//! The methodology is trace-driven (Section 5: "we first profile its DM
+//! behaviour"): a workload runs once against a [`RecordingAllocator`],
+//! producing a [`Trace`]; the trace then [`replay`]s against any manager to
+//! measure the footprint that manager *would* have had — identical inputs
+//! for every comparator, exactly like the paper's 10-simulation averages.
+
+mod record;
+
+pub use record::RecordingAllocator;
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::manager::{Allocator, BlockHandle};
+use crate::metrics::{FootprintStats, SeriesPoint, TimeSeries};
+
+/// One event of an allocation trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The application requested `size` bytes; the object is named `id`.
+    Alloc {
+        /// Unique object id within the trace.
+        id: u64,
+        /// Requested payload bytes.
+        size: usize,
+    },
+    /// The application released object `id`.
+    Free {
+        /// Id of a previously allocated, still-live object.
+        id: u64,
+    },
+    /// The application entered logical phase `phase` (Section 3.3).
+    Phase {
+        /// Phase id; monotonically increasing in well-formed traces.
+        phase: u32,
+    },
+}
+
+/// A validated allocation trace.
+///
+/// Construct with [`Trace::builder`] or by recording a workload through
+/// [`RecordingAllocator`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Start building a trace event by event.
+    pub fn builder() -> TraceBuilder {
+        TraceBuilder::new()
+    }
+
+    /// Validate and wrap raw events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTrace`] on duplicate ids, frees of unknown
+    /// or dead ids, or zero-id reuse.
+    pub fn from_events(events: Vec<TraceEvent>) -> Result<Self> {
+        let mut live: HashMap<u64, ()> = HashMap::new();
+        let mut seen: HashMap<u64, ()> = HashMap::new();
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                TraceEvent::Alloc { id, size } => {
+                    if *size == 0 {
+                        return Err(Error::MalformedTrace(format!(
+                            "event {i}: zero-size allocation of id {id}"
+                        )));
+                    }
+                    if seen.insert(*id, ()).is_some() {
+                        return Err(Error::MalformedTrace(format!(
+                            "event {i}: id {id} allocated twice"
+                        )));
+                    }
+                    live.insert(*id, ());
+                }
+                TraceEvent::Free { id } => {
+                    if live.remove(id).is_none() {
+                        return Err(Error::MalformedTrace(format!(
+                            "event {i}: free of unknown or dead id {id}"
+                        )));
+                    }
+                }
+                TraceEvent::Phase { .. } => {}
+            }
+        }
+        Ok(Trace { events })
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of allocation events.
+    pub fn alloc_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Alloc { .. }))
+            .count()
+    }
+
+    /// Number of free events.
+    pub fn free_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Free { .. }))
+            .count()
+    }
+
+    /// Distinct phase ids appearing in the trace (sorted).
+    pub fn phases(&self) -> Vec<u32> {
+        let mut ps: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Phase { phase } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+
+    /// Total bytes requested over the whole trace.
+    pub fn total_requested(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Alloc { size, .. } => *size,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Peak simultaneously-live requested bytes — a manager-independent
+    /// lower bound for any manager's footprint.
+    pub fn peak_live_requested(&self) -> usize {
+        let mut sizes: HashMap<u64, usize> = HashMap::new();
+        let (mut live, mut peak) = (0usize, 0usize);
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Alloc { id, size } => {
+                    sizes.insert(*id, *size);
+                    live += size;
+                    peak = peak.max(live);
+                }
+                TraceEvent::Free { id } => {
+                    live -= sizes.get(id).copied().unwrap_or(0);
+                }
+                TraceEvent::Phase { .. } => {}
+            }
+        }
+        peak
+    }
+
+    /// Split into per-phase sub-traces: each contains the allocations made
+    /// during that phase and the frees of those same objects (frees landing
+    /// in later phases are attributed to the *owning* phase, keeping every
+    /// sub-trace self-contained).
+    ///
+    /// Traces without phase markers yield a single sub-trace.
+    pub fn split_phases(&self) -> Vec<(u32, Trace)> {
+        let mut owner: HashMap<u64, u32> = HashMap::new();
+        let mut current = 0u32;
+        let mut buckets: Vec<(u32, Vec<TraceEvent>)> = vec![(0, Vec::new())];
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Phase { phase } => {
+                    current = *phase;
+                    if buckets.iter().all(|(p, _)| *p != current) {
+                        buckets.push((current, Vec::new()));
+                    }
+                }
+                TraceEvent::Alloc { id, .. } => {
+                    owner.insert(*id, current);
+                    let b = buckets
+                        .iter_mut()
+                        .find(|(p, _)| *p == current)
+                        .expect("bucket exists");
+                    b.1.push(*ev);
+                }
+                TraceEvent::Free { id } => {
+                    let ph = owner.get(id).copied().unwrap_or(current);
+                    let b = buckets
+                        .iter_mut()
+                        .find(|(p, _)| *p == ph)
+                        .expect("owner bucket exists");
+                    b.1.push(*ev);
+                }
+            }
+        }
+        buckets
+            .into_iter()
+            .filter(|(_, evs)| !evs.is_empty())
+            .map(|(p, evs)| {
+                (
+                    p,
+                    Trace::from_events(evs).expect("phase projection preserves validity"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Incremental, validating trace builder.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+    next_id: u64,
+    live: HashMap<u64, usize>,
+}
+
+impl TraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Append an allocation of `size` bytes, returning its object id.
+    ///
+    /// Zero-size requests are recorded as one byte, mirroring `malloc(0)`.
+    pub fn alloc(&mut self, size: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let size = size.max(1);
+        self.live.insert(id, size);
+        self.events.push(TraceEvent::Alloc { id, size });
+        id
+    }
+
+    /// Append a free of object `id`.
+    ///
+    /// Invalid frees are recorded; [`TraceBuilder::finish`] rejects them.
+    pub fn free(&mut self, id: u64) {
+        self.live.remove(&id);
+        self.events.push(TraceEvent::Free { id });
+    }
+
+    /// Append a phase marker.
+    pub fn phase(&mut self, phase: u32) {
+        self.events.push(TraceEvent::Phase { phase });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Bytes currently live in the builder's model.
+    pub fn live_bytes(&self) -> usize {
+        self.live.values().sum()
+    }
+
+    /// Validate and produce the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTrace`] if any recorded free was invalid.
+    pub fn finish(self) -> Result<Trace> {
+        Trace::from_events(self.events)
+    }
+}
+
+/// Replay a trace against a manager, returning footprint statistics.
+///
+/// # Errors
+///
+/// Propagates manager errors ([`Error::OutOfMemory`]) and trace/manager
+/// disagreements ([`Error::UnknownTraceId`]).
+pub fn replay(trace: &Trace, manager: &mut dyn Allocator) -> Result<FootprintStats> {
+    replay_inner(trace, manager, None)
+}
+
+/// Like [`replay`], additionally sampling the footprint curve every
+/// `sample_every` events (paper Figure 5).
+pub fn replay_sampled(
+    trace: &Trace,
+    manager: &mut dyn Allocator,
+    sample_every: usize,
+) -> Result<FootprintStats> {
+    replay_inner(trace, manager, Some(sample_every.max(1)))
+}
+
+fn replay_inner(
+    trace: &Trace,
+    manager: &mut dyn Allocator,
+    sample_every: Option<usize>,
+) -> Result<FootprintStats> {
+    let mut handles: HashMap<u64, BlockHandle> = HashMap::new();
+    let mut series = sample_every.map(|s| TimeSeries {
+        sample_every: s,
+        points: Vec::with_capacity(trace.len() / s + 1),
+    });
+    for (i, ev) in trace.events().iter().enumerate() {
+        match ev {
+            TraceEvent::Alloc { id, size } => {
+                let h = manager.alloc(*size)?;
+                handles.insert(*id, h);
+            }
+            TraceEvent::Free { id } => {
+                let h = handles.remove(id).ok_or(Error::UnknownTraceId(*id))?;
+                manager.free(h)?;
+            }
+            TraceEvent::Phase { phase } => manager.set_phase(*phase),
+        }
+        if let Some(ts) = series.as_mut() {
+            if i % ts.sample_every == 0 {
+                let s = manager.stats();
+                ts.points.push(SeriesPoint {
+                    event: i,
+                    footprint: s.system,
+                    requested: s.live_requested,
+                    live_block: s.live_block,
+                });
+            }
+        }
+    }
+    let stats = manager.stats().clone();
+    Ok(FootprintStats {
+        manager: manager.name().to_string(),
+        peak_footprint: stats.peak_footprint,
+        final_footprint: stats.system,
+        peak_requested: stats.peak_requested,
+        events: trace.len(),
+        stats,
+        series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::PolicyAllocator;
+    use crate::space::presets;
+
+    fn tiny_trace() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.alloc(100);
+        let c = b.alloc(200);
+        b.free(a);
+        let d = b.alloc(50);
+        b.free(c);
+        b.free(d);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_trace() {
+        let t = tiny_trace();
+        assert_eq!(t.alloc_count(), 3);
+        assert_eq!(t.free_count(), 3);
+        assert_eq!(t.total_requested(), 350);
+        assert_eq!(t.peak_live_requested(), 300);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        // Double free.
+        let evs = vec![
+            TraceEvent::Alloc { id: 0, size: 8 },
+            TraceEvent::Free { id: 0 },
+            TraceEvent::Free { id: 0 },
+        ];
+        assert!(matches!(
+            Trace::from_events(evs),
+            Err(Error::MalformedTrace(_))
+        ));
+        // Free before alloc.
+        let evs = vec![TraceEvent::Free { id: 3 }];
+        assert!(Trace::from_events(evs).is_err());
+        // Duplicate id.
+        let evs = vec![
+            TraceEvent::Alloc { id: 1, size: 8 },
+            TraceEvent::Alloc { id: 1, size: 8 },
+        ];
+        assert!(Trace::from_events(evs).is_err());
+        // Zero size.
+        let evs = vec![TraceEvent::Alloc { id: 1, size: 0 }];
+        assert!(Trace::from_events(evs).is_err());
+    }
+
+    #[test]
+    fn replay_matches_direct_use() {
+        let t = tiny_trace();
+        let mut m = PolicyAllocator::new(presets::drr_paper()).unwrap();
+        let fs = replay(&t, &mut m).unwrap();
+        assert_eq!(fs.events, t.len());
+        assert_eq!(fs.stats.allocs, 3);
+        assert_eq!(fs.stats.frees, 3);
+        assert!(fs.peak_footprint >= t.peak_live_requested());
+        assert_eq!(fs.peak_requested, t.peak_live_requested());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let t = tiny_trace();
+        let run = || {
+            let mut m = PolicyAllocator::new(presets::lea_like()).unwrap();
+            replay(&t, &mut m).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sampled_replay_produces_series() {
+        let t = tiny_trace();
+        let mut m = PolicyAllocator::new(presets::kingsley_like()).unwrap();
+        let fs = replay_sampled(&t, &mut m, 1).unwrap();
+        let ts = fs.series.unwrap();
+        assert_eq!(ts.points.len(), t.len());
+        assert_eq!(ts.peak(), fs.peak_footprint);
+    }
+
+    #[test]
+    fn phase_markers_reach_the_manager() {
+        let mut b = Trace::builder();
+        b.phase(0);
+        let a = b.alloc(64);
+        b.phase(1);
+        let c = b.alloc(64);
+        b.free(a);
+        b.free(c);
+        let t = b.finish().unwrap();
+        assert_eq!(t.phases(), vec![0, 1]);
+
+        let mut g = crate::manager::GlobalManager::new(
+            "g",
+            vec![presets::drr_paper(), presets::kingsley_like()],
+        )
+        .unwrap();
+        let fs = replay(&t, &mut g).unwrap();
+        assert_eq!(fs.stats.allocs, 2);
+        assert_eq!(g.atomic(0).stats().allocs, 1);
+        assert_eq!(g.atomic(1).stats().allocs, 1);
+    }
+
+    #[test]
+    fn split_phases_attributes_cross_phase_frees_to_owner() {
+        let mut b = Trace::builder();
+        b.phase(0);
+        let a = b.alloc(64); // phase 0 object...
+        b.phase(1);
+        let c = b.alloc(32);
+        b.free(a); // ...freed during phase 1
+        b.free(c);
+        let t = b.finish().unwrap();
+        let parts = t.split_phases();
+        assert_eq!(parts.len(), 2);
+        let p0 = &parts.iter().find(|(p, _)| *p == 0).unwrap().1;
+        assert_eq!(p0.alloc_count(), 1);
+        assert_eq!(p0.free_count(), 1, "free of `a` belongs to phase 0");
+        let p1 = &parts.iter().find(|(p, _)| *p == 1).unwrap().1;
+        assert_eq!(p1.alloc_count(), 1);
+        assert_eq!(p1.free_count(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = tiny_trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

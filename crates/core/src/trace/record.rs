@@ -1,0 +1,163 @@
+//! Recording allocator: captures a workload's DM behaviour as a [`Trace`].
+//!
+//! The recorder is itself an [`Allocator`], so the same workload code runs
+//! unchanged whether it is being profiled or measured. Internally it serves
+//! requests from an ideal bump space (no policy, no fragmentation) — the
+//! recorded trace is policy-free by construction.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::manager::{Allocator, BlockHandle};
+use crate::metrics::AllocStats;
+use crate::trace::{Trace, TraceBuilder};
+use crate::units::{align_up, MIN_ALIGN};
+
+/// An [`Allocator`] that records every request into a trace.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_core::manager::Allocator;
+/// use dmm_core::trace::RecordingAllocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rec = RecordingAllocator::new();
+/// let h = rec.alloc(128)?;
+/// rec.free(h)?;
+/// let trace = rec.finish()?;
+/// assert_eq!(trace.alloc_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordingAllocator {
+    builder: TraceBuilder,
+    bump: usize,
+    live: HashMap<usize, (u64, usize)>,
+    stats: AllocStats,
+}
+
+impl RecordingAllocator {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        RecordingAllocator::default()
+    }
+
+    /// Finish recording and validate the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTrace`] if the workload performed invalid
+    /// frees (which [`RecordingAllocator::free`] would already have
+    /// surfaced).
+    pub fn finish(self) -> Result<Trace> {
+        self.builder.finish()
+    }
+
+    /// Events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.builder.len()
+    }
+}
+
+impl Allocator for RecordingAllocator {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+
+    fn alloc(&mut self, req: usize) -> Result<BlockHandle> {
+        let req = req.max(1);
+        let id = self.builder.alloc(req);
+        let offset = self.bump;
+        self.bump += align_up(req, MIN_ALIGN);
+        self.live.insert(offset, (id, req));
+        self.stats.on_alloc(req, align_up(req, MIN_ALIGN));
+        self.stats
+            .set_system(self.stats.live_block.max(self.stats.system), 0);
+        Ok(BlockHandle::new(offset, 0))
+    }
+
+    fn free(&mut self, handle: BlockHandle) -> Result<()> {
+        let (id, req) = self
+            .live
+            .remove(&handle.offset())
+            .ok_or(Error::InvalidFree {
+                offset: handle.offset(),
+            })?;
+        self.builder.free(id);
+        self.stats.on_free(req, align_up(req, MIN_ALIGN));
+        Ok(())
+    }
+
+    fn footprint(&self) -> usize {
+        self.stats.live_block
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    fn set_phase(&mut self, phase: u32) {
+        self.builder.phase(phase);
+    }
+
+    fn reset(&mut self) {
+        *self = RecordingAllocator::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_allocs_frees_and_phases() {
+        let mut rec = RecordingAllocator::new();
+        rec.set_phase(0);
+        let a = rec.alloc(100).unwrap();
+        let b = rec.alloc(200).unwrap();
+        rec.set_phase(1);
+        rec.free(a).unwrap();
+        rec.free(b).unwrap();
+        let t = rec.finish().unwrap();
+        assert_eq!(t.alloc_count(), 2);
+        assert_eq!(t.free_count(), 2);
+        assert_eq!(t.phases(), vec![0, 1]);
+    }
+
+    #[test]
+    fn invalid_free_is_surfaced_immediately() {
+        let mut rec = RecordingAllocator::new();
+        let h = rec.alloc(10).unwrap();
+        rec.free(h).unwrap();
+        assert!(rec.free(h).is_err());
+    }
+
+    #[test]
+    fn recorded_trace_replays_everywhere() {
+        use crate::manager::PolicyAllocator;
+        use crate::space::presets;
+        use crate::trace::replay;
+
+        let mut rec = RecordingAllocator::new();
+        let hs: Vec<_> = (1..=20).map(|i| rec.alloc(i * 16).unwrap()).collect();
+        for h in hs {
+            rec.free(h).unwrap();
+        }
+        let t = rec.finish().unwrap();
+        for cfg in presets::all() {
+            let mut m = PolicyAllocator::new(cfg).unwrap();
+            let fs = replay(&t, &mut m).unwrap();
+            assert_eq!(fs.stats.allocs, 20, "{}", fs.manager);
+        }
+    }
+
+    #[test]
+    fn handles_are_distinct_while_live() {
+        let mut rec = RecordingAllocator::new();
+        let a = rec.alloc(8).unwrap();
+        let b = rec.alloc(8).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,102 @@
+//! Memory-model constants for the simulated embedded target.
+//!
+//! The paper evaluates on 2004-era embedded platforms; we model a 32-bit
+//! target so that tag and control-structure overheads match the magnitudes
+//! the paper reasons about ("a few bytes per block").
+//!
+//! All sizes in this crate are in **bytes** unless a name says otherwise.
+
+/// Width of a pointer on the modelled target (32-bit embedded CPU).
+pub const POINTER_BYTES: usize = 4;
+
+/// Width of a size field in a block tag.
+pub const SIZE_FIELD_BYTES: usize = 4;
+
+/// Minimum alignment of every block returned to the application.
+pub const MIN_ALIGN: usize = 8;
+
+/// Smallest block the heap will manage.
+///
+/// A free block must be able to hold the intrusive free-list links
+/// (two pointers) plus a size field, as in classic boundary-tag allocators.
+pub const MIN_BLOCK: usize = 16;
+
+/// Granularity in which the simulated `sbrk` extends the arena.
+pub const SBRK_GRANULARITY: usize = 4096;
+
+/// Round `n` up to the next multiple of `align`.
+///
+/// `align` must be a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_core::units::align_up;
+/// assert_eq!(align_up(13, 8), 16);
+/// assert_eq!(align_up(16, 8), 16);
+/// assert_eq!(align_up(0, 8), 0);
+/// ```
+#[inline]
+pub const fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+/// Round `n` up to the next power of two, with a floor of `MIN_BLOCK`.
+///
+/// Used by power-of-two size classing (Kingsley-style).
+///
+/// # Examples
+///
+/// ```
+/// use dmm_core::units::pow2_class;
+/// assert_eq!(pow2_class(1), 16);
+/// assert_eq!(pow2_class(17), 32);
+/// assert_eq!(pow2_class(32), 32);
+/// ```
+#[inline]
+pub fn pow2_class(n: usize) -> usize {
+    n.max(MIN_BLOCK).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_up(0, 16), 0);
+        assert_eq!(align_up(1, 1), 1);
+    }
+
+    #[test]
+    fn align_up_is_idempotent() {
+        for n in 0..200 {
+            let a = align_up(n, 8);
+            assert_eq!(align_up(a, 8), a);
+            assert!(a >= n);
+            assert!(a < n + 8);
+        }
+    }
+
+    #[test]
+    fn pow2_class_floors_at_min_block() {
+        assert_eq!(pow2_class(0), MIN_BLOCK);
+        assert_eq!(pow2_class(MIN_BLOCK), MIN_BLOCK);
+        assert_eq!(pow2_class(MIN_BLOCK + 1), MIN_BLOCK * 2);
+    }
+
+    #[test]
+    fn pow2_class_is_monotone() {
+        let mut prev = 0;
+        for n in 0..10_000 {
+            let c = pow2_class(n);
+            assert!(c >= prev);
+            assert!(c >= n);
+            prev = c;
+        }
+    }
+}

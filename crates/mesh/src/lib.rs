@@ -1,0 +1,24 @@
+//! # dmm-mesh
+//!
+//! The scalable-mesh 3D-rendering substrate — the paper's third case study.
+//! A stand-in for the OpenGL QoS renderer (Woo et al. / Pham Ngoc et al.)
+//! we cannot ship: progressive sphere meshes with distance-driven level of
+//! detail, a software z-buffer rasterizer, and a frame loop whose dynamic
+//! memory alternates between a stack-like LOD-refinement phase and a
+//! non-LIFO final compositing phase.
+//!
+//! The phase structure is the point: Obstacks wins the refinement phase
+//! and loses the final phase (its dead objects stay trapped under live
+//! ones), which is exactly how the paper motivates its per-phase custom
+//! managers (Section 3.3 + the case-study discussion).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod mesh;
+pub mod raster;
+pub mod render;
+
+pub use mesh::{LodChain, Mesh};
+pub use raster::{rasterize, Framebuffer, RasterStats};
+pub use render::{run_rendering, RenderConfig, RenderStats};

@@ -1,0 +1,364 @@
+//! # dmm-trafficgen
+//!
+//! Synthetic internet-traffic traces standing in for the Internet Traffic
+//! Archive (ITA/LBL) captures the paper feeds to its DRR case study ("10
+//! real traces of internet network traffic up to 10 Mbit/sec").
+//!
+//! The real captures are not redistributable, so this crate generates
+//! statistically similar streams — what matters for a *dynamic-memory*
+//! study is the packet-size mix (highly variable sizes → variable block
+//! requests) and burstiness (queue build-up → live-set peaks), both modelled
+//! here:
+//!
+//! - **sizes** follow the classic trimodal internet mix (ACK-sized ~40 B,
+//!   default-MSS ~576 B, ethernet-MTU ~1500 B modes plus a uniform tail);
+//! - **arrivals** follow an ON/OFF process with Pareto-distributed burst
+//!   lengths (self-similar-ish traffic) and exponential in-burst gaps;
+//! - **flows** are picked from a Zipf-like popularity distribution.
+//!
+//! Everything is deterministic per seed; the paper's "10 simulations" become
+//! 10 seeds.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One generated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Arrival time in nanoseconds from stream start.
+    pub arrival_ns: u64,
+    /// Wire size in bytes (40–1500).
+    pub size: usize,
+    /// Flow the packet belongs to.
+    pub flow: u32,
+}
+
+/// Parameters of the synthetic stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// RNG seed; one seed = one reproducible trace.
+    pub seed: u64,
+    /// Stream duration in milliseconds.
+    pub duration_ms: u64,
+    /// Target long-run average rate in bits per second.
+    pub mean_rate_bps: u64,
+    /// Number of flows.
+    pub flows: u32,
+    /// Peak-to-mean rate ratio during ON bursts (≥ 1.0).
+    pub burstiness: f64,
+    /// Weights of the 40 B / 576 B / 1500 B / uniform-tail size modes.
+    pub size_weights: [f64; 4],
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 1,
+            duration_ms: 200,
+            mean_rate_bps: 10_000_000, // the paper's 10 Mbit/s ceiling
+            flows: 16,
+            burstiness: 4.0,
+            size_weights: [0.55, 0.20, 0.17, 0.08],
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// The configuration used by the DRR case study, at a given seed.
+    pub fn drr_case_study(seed: u64) -> Self {
+        TrafficConfig {
+            seed,
+            ..TrafficConfig::default()
+        }
+    }
+}
+
+/// Deterministic synthetic traffic generator.
+///
+/// # Examples
+///
+/// ```
+/// use dmm_trafficgen::{TrafficConfig, TrafficGenerator};
+///
+/// let packets = TrafficGenerator::new(TrafficConfig::default()).collect::<Vec<_>>();
+/// assert!(!packets.is_empty());
+/// assert!(packets.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+/// ```
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    cfg: TrafficConfig,
+    rng: StdRng,
+    now_ns: u64,
+    end_ns: u64,
+    burst_left: u32,
+    in_burst_gap_ns: f64,
+}
+
+impl TrafficGenerator {
+    /// Create a generator for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burstiness < 1.0` or the size weights do not sum to a
+    /// positive value.
+    pub fn new(cfg: TrafficConfig) -> Self {
+        assert!(cfg.burstiness >= 1.0, "burstiness must be >= 1");
+        assert!(
+            cfg.size_weights.iter().sum::<f64>() > 0.0,
+            "size weights must sum to a positive value"
+        );
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let end_ns = cfg.duration_ms * 1_000_000;
+        TrafficGenerator {
+            rng,
+            now_ns: 0,
+            end_ns,
+            burst_left: 0,
+            in_burst_gap_ns: 0.0,
+            cfg,
+        }
+    }
+
+    /// Mean packet size implied by the size model, in bytes.
+    pub fn mean_packet_size(&self) -> f64 {
+        let w = &self.cfg.size_weights;
+        let total: f64 = w.iter().sum();
+        (w[0] * 40.0 + w[1] * 576.0 + w[2] * 1500.0 + w[3] * 770.0) / total
+    }
+
+    fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto burst length (number of packets).
+    fn pareto_burst(&mut self) -> u32 {
+        let alpha = 1.5f64;
+        let xm = 4.0f64;
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        let x = xm / u.powf(1.0 / alpha);
+        x.min(2_000.0) as u32
+    }
+
+    fn draw_size(&mut self, flow: u32) -> usize {
+        // Per-flow size personality: even flows skew to ACK-sized packets,
+        // odd flows to MTU-sized ones (real aggregates mix pure-ACK reverse
+        // paths with bulk-transfer forward paths). Byte-fair DRR then holds
+        // large packets longer than small ones, so partially drained queues
+        // leave small/large checkerboards in the heap — the fragmentation
+        // pressure the paper's DRR study exercises.
+        let w = &self.cfg.size_weights;
+        let bias = if flow % 2 == 0 { 2.0 } else { 0.4 };
+        let weights = [w[0] * bias, w[1], w[2] / bias, w[3]];
+        let total: f64 = weights.iter().sum();
+        let mut u: f64 = self.rng.gen_range(0.0..total);
+        if u < weights[0] {
+            return self.rng.gen_range(40..=64);
+        }
+        u -= weights[0];
+        if u < weights[1] {
+            return self.rng.gen_range(540..=600);
+        }
+        u -= weights[1];
+        if u < weights[2] {
+            return self.rng.gen_range(1400..=1500);
+        }
+        self.rng.gen_range(65..1400)
+    }
+
+    fn draw_flow(&mut self) -> u32 {
+        // Zipf-like: flow k with probability ∝ 1/(k+1).
+        let n = self.cfg.flows.max(1);
+        let hn: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        let mut u: f64 = self.rng.gen_range(0.0..hn);
+        for k in 1..=n {
+            let p = 1.0 / k as f64;
+            if u < p {
+                return k - 1;
+            }
+            u -= p;
+        }
+        n - 1
+    }
+}
+
+impl Iterator for TrafficGenerator {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.now_ns >= self.end_ns {
+            return None;
+        }
+        if self.burst_left == 0 {
+            // Start a new burst after an OFF gap sized so the long-run
+            // average rate matches `mean_rate_bps`.
+            let mean_size_bits = self.mean_packet_size() * 8.0;
+            let mean_gap_ns = mean_size_bits / self.cfg.mean_rate_bps as f64 * 1e9;
+            let peak_gap_ns = mean_gap_ns / self.cfg.burstiness;
+            self.burst_left = self.pareto_burst();
+            self.in_burst_gap_ns = peak_gap_ns;
+            // OFF time compensating the burst's peak rate:
+            let off_mean = (mean_gap_ns - peak_gap_ns) * self.burst_left as f64;
+            let off = self.exp(off_mean.max(1.0));
+            self.now_ns += off as u64;
+        }
+        self.burst_left -= 1;
+        let gap = self.exp(self.in_burst_gap_ns.max(1.0));
+        self.now_ns += gap as u64;
+        if self.now_ns >= self.end_ns {
+            return None;
+        }
+        let flow = self.draw_flow();
+        let size = self.draw_size(flow);
+        Some(Packet {
+            arrival_ns: self.now_ns,
+            size,
+            flow,
+        })
+    }
+}
+
+/// Summary statistics of a packet stream (used by tests and reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Number of packets.
+    pub packets: usize,
+    /// Total bytes.
+    pub bytes: usize,
+    /// Mean packet size.
+    pub mean_size: f64,
+    /// Achieved average rate in bits per second.
+    pub rate_bps: f64,
+    /// Distinct flows observed.
+    pub flows: usize,
+}
+
+/// Compute [`StreamStats`] over a packet slice.
+pub fn stream_stats(packets: &[Packet]) -> StreamStats {
+    let bytes: usize = packets.iter().map(|p| p.size).sum();
+    let span_ns = packets.last().map(|p| p.arrival_ns).unwrap_or(0).max(1);
+    let flows: std::collections::HashSet<u32> = packets.iter().map(|p| p.flow).collect();
+    StreamStats {
+        packets: packets.len(),
+        bytes,
+        mean_size: if packets.is_empty() {
+            0.0
+        } else {
+            bytes as f64 / packets.len() as f64
+        },
+        rate_bps: bytes as f64 * 8.0 / (span_ns as f64 / 1e9),
+        flows: flows.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate(seed: u64) -> Vec<Packet> {
+        TrafficGenerator::new(TrafficConfig {
+            seed,
+            duration_ms: 400,
+            ..TrafficConfig::default()
+        })
+        .collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(7), generate(7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let ps = generate(3);
+        assert!(ps.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert!(ps.len() > 100, "400 ms at ~10 Mbit/s needs many packets");
+    }
+
+    #[test]
+    fn sizes_stay_in_ethernet_range_with_three_modes() {
+        let ps = generate(4);
+        assert!(ps.iter().all(|p| (40..=1500).contains(&p.size)));
+        let small = ps.iter().filter(|p| p.size <= 64).count();
+        let mid = ps.iter().filter(|p| (540..=600).contains(&p.size)).count();
+        let big = ps.iter().filter(|p| p.size >= 1400).count();
+        assert!(small > mid, "ACK mode dominates");
+        assert!(mid > 0 && big > 0, "all three modes present");
+        // Highly variable sizes: the property the DM study depends on.
+        let distinct: std::collections::HashSet<usize> = ps.iter().map(|p| p.size).collect();
+        assert!(distinct.len() > 50);
+    }
+
+    #[test]
+    fn average_rate_is_near_target() {
+        let ps = generate(5);
+        let stats = stream_stats(&ps);
+        let target = TrafficConfig::default().mean_rate_bps as f64;
+        assert!(
+            stats.rate_bps > target * 0.3 && stats.rate_bps < target * 3.0,
+            "rate {} too far from target {target}",
+            stats.rate_bps
+        );
+    }
+
+    #[test]
+    fn flows_follow_config() {
+        let ps = generate(6);
+        assert!(ps.iter().all(|p| p.flow < TrafficConfig::default().flows));
+        let stats = stream_stats(&ps);
+        assert!(stats.flows >= 4, "Zipf still touches several flows");
+        // Flow 0 is the most popular under Zipf.
+        let f0 = ps.iter().filter(|p| p.flow == 0).count();
+        let flast = ps
+            .iter()
+            .filter(|p| p.flow == TrafficConfig::default().flows - 1)
+            .count();
+        assert!(f0 > flast);
+    }
+
+    #[test]
+    fn bursts_create_variance_in_interarrival() {
+        let ps = generate(8);
+        let gaps: Vec<f64> = ps
+            .windows(2)
+            .map(|w| (w[1].arrival_ns - w[0].arrival_ns) as f64)
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cov = var.sqrt() / mean;
+        assert!(
+            cov > 1.0,
+            "ON/OFF traffic must be burstier than Poisson: {cov}"
+        );
+    }
+
+    #[test]
+    fn ten_seeds_give_ten_distinct_traces() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..10 {
+            let ps = generate(seed);
+            let key = (ps.len(), ps.iter().map(|p| p.size).sum::<usize>());
+            seen.insert(key);
+        }
+        assert!(seen.len() >= 9, "seeds should produce distinct traces");
+    }
+
+    #[test]
+    #[should_panic(expected = "burstiness")]
+    fn burstiness_below_one_is_rejected() {
+        let _ = TrafficGenerator::new(TrafficConfig {
+            burstiness: 0.5,
+            ..TrafficConfig::default()
+        });
+    }
+}

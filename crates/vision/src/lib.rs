@@ -1,0 +1,29 @@
+//! # dmm-vision
+//!
+//! The 3D-image-reconstruction substrate — the paper's second case study.
+//! A stand-in for the Target Jr / Pollefeys metric-reconstruction
+//! sub-algorithm (1.75 MLoC of C++ we cannot ship): synthetic image pairs
+//! with known camera displacement, Harris-style corner detection, NCC
+//! matching and robust displacement estimation. The pipeline's dynamic
+//! memory — image buffers "over 1 Mb" each, input-dependent corner and
+//! match arrays — flows through the [`dmm_core::manager::Allocator`] under
+//! test.
+//!
+//! What the substitution preserves (see DESIGN.md): bursts of many small
+//! records whose count is unpredictable at compile time, large image
+//! buffers with frame-overlapping lifetimes, and randomized access
+//! patterns that defeat static layout optimisation — the properties the
+//! paper's DM analysis relies on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod corners;
+pub mod image;
+pub mod matching;
+pub mod recon;
+
+pub use corners::{detect_corners, Corner, CornerParams};
+pub use image::{Image, SyntheticScene};
+pub use matching::{estimate_displacement, match_corners, Match, MatchParams};
+pub use recon::{run_reconstruction, ReconConfig, ReconStats};

@@ -1,0 +1,233 @@
+//! The reconstruction driver: the complete case-study application.
+//!
+//! Mirrors the paper's second case study — one sub-algorithm of a metric 3D
+//! reconstruction pipeline "where the relative displacement between frames
+//! is used to reconstruct the 3rd dimension". Per frame pair the driver:
+//!
+//! 1. allocates both image buffers from the manager under test;
+//! 2. detects corners, growing corner arrays through [`DynVec`]
+//!    (the input-dependent candidate lists);
+//! 3. matches corners (match array + per-corner NCC patch scratch);
+//! 4. estimates the displacement and compares it to the ground truth;
+//! 5. frees the frame's structures; the second image carries over as the
+//!    next reference frame, so image lifetimes overlap frames.
+
+use serde::{Deserialize, Serialize};
+
+use dmm_core::dynvec::DynVec;
+use dmm_core::error::Result;
+use dmm_core::manager::Allocator;
+
+use crate::corners::{detect_corners, CornerParams, CORNER_RECORD_BYTES};
+use crate::image::SyntheticScene;
+use crate::matching::{estimate_displacement, match_corners, MatchParams, MATCH_RECORD_BYTES};
+
+/// Configuration of a reconstruction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconConfig {
+    /// Scene seed.
+    pub seed: u64,
+    /// Number of frame pairs to process.
+    pub frames: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of scene features.
+    pub features: usize,
+}
+
+impl Default for ReconConfig {
+    fn default() -> Self {
+        // The paper's 640x480; tests use `small()`.
+        ReconConfig {
+            seed: 1,
+            frames: 6,
+            width: 640,
+            height: 480,
+            features: 180,
+        }
+    }
+}
+
+impl ReconConfig {
+    /// A fast configuration for unit tests.
+    pub fn small(seed: u64) -> Self {
+        ReconConfig {
+            seed,
+            frames: 3,
+            width: 200,
+            height: 150,
+            features: 24,
+        }
+    }
+}
+
+/// Outcome of a reconstruction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconStats {
+    /// Frame pairs processed.
+    pub frames: usize,
+    /// Corners detected across all frames.
+    pub corners: usize,
+    /// Matches accepted across all frames.
+    pub matches: usize,
+    /// Mean absolute displacement-estimation error in pixels.
+    pub mean_abs_error: f64,
+}
+
+/// Ground-truth camera path: a gentle pan with drift.
+fn truth_displacement(frame: usize) -> (f64, f64) {
+    let f = frame as f64 + 1.0;
+    (2.0 * f, (f * 1.3).sin() * 3.0)
+}
+
+/// Run the reconstruction case study on `alloc`.
+///
+/// # Errors
+///
+/// Propagates allocator failures.
+pub fn run_reconstruction(alloc: &mut dyn Allocator, cfg: &ReconConfig) -> Result<ReconStats> {
+    let scene = SyntheticScene::new(cfg.seed, cfg.width, cfg.height, cfg.features);
+    let corner_params = CornerParams::default();
+    let match_params = MatchParams::default();
+
+    let mut stats = ReconStats {
+        frames: 0,
+        corners: 0,
+        matches: 0,
+        mean_abs_error: 0.0,
+    };
+    let mut err_sum = 0.0;
+
+    // Reference frame: image buffer lives in the manager under test.
+    let img_bytes = cfg.width * cfg.height;
+    let mut prev_img = scene.render(0.0, 0.0);
+    let mut prev_handle = alloc.alloc(img_bytes)?;
+    let mut prev_truth = (0.0, 0.0);
+
+    for frame in 0..cfg.frames {
+        let (tx, ty) = truth_displacement(frame);
+        let cur_img = scene.render(tx, ty);
+        let cur_handle = alloc.alloc(img_bytes)?;
+
+        // Corner detection: candidate arrays grow through the manager.
+        let corners_a = detect_corners(&prev_img, corner_params);
+        let corners_b = detect_corners(&cur_img, corner_params);
+        let mut vec_a = DynVec::new(CORNER_RECORD_BYTES);
+        for _ in &corners_a {
+            vec_a.push(alloc)?;
+        }
+        let mut vec_b = DynVec::new(CORNER_RECORD_BYTES);
+        for _ in &corners_b {
+            vec_b.push(alloc)?;
+        }
+
+        // NCC scratch: one 7x7 patch pair per reference corner.
+        let mut scratch = Vec::with_capacity(corners_a.len());
+        for _ in &corners_a {
+            scratch.push(alloc.alloc(2 * 49)?);
+        }
+        let matches = match_corners(&prev_img, &corners_a, &cur_img, &corners_b, match_params);
+        for h in scratch {
+            alloc.free(h)?;
+        }
+
+        let mut vec_m = DynVec::new(MATCH_RECORD_BYTES);
+        for _ in &matches {
+            vec_m.push(alloc)?;
+        }
+
+        // Displacement relative to the previous frame.
+        let est = estimate_displacement(&matches);
+        let truth = (tx - prev_truth.0, ty - prev_truth.1);
+        if let Some((ex, ey)) = est {
+            err_sum += (ex - truth.0).abs() + (ey - truth.1).abs();
+        } else {
+            err_sum += truth.0.abs() + truth.1.abs();
+        }
+
+        stats.frames += 1;
+        stats.corners += corners_a.len() + corners_b.len();
+        stats.matches += matches.len();
+
+        // Tear down the frame; the current image becomes the reference.
+        vec_a.destroy(alloc)?;
+        vec_b.destroy(alloc)?;
+        vec_m.destroy(alloc)?;
+        alloc.free(prev_handle)?;
+        prev_handle = cur_handle;
+        prev_img = cur_img;
+        prev_truth = (tx, ty);
+    }
+    alloc.free(prev_handle)?;
+
+    stats.mean_abs_error = err_sum / (2.0 * cfg.frames.max(1) as f64);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmm_core::manager::PolicyAllocator;
+    use dmm_core::space::presets;
+    use dmm_core::trace::RecordingAllocator;
+
+    #[test]
+    fn pipeline_is_accurate_and_leak_free() {
+        let mut alloc = RecordingAllocator::new();
+        let stats = run_reconstruction(&mut alloc, &ReconConfig::small(1)).unwrap();
+        assert_eq!(stats.frames, 3);
+        assert!(stats.corners > 30, "corners: {}", stats.corners);
+        assert!(stats.matches > 10, "matches: {}", stats.matches);
+        assert!(
+            stats.mean_abs_error < 1.5,
+            "estimation error too high: {}",
+            stats.mean_abs_error
+        );
+        assert_eq!(alloc.stats().live_requested, 0, "leak");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut alloc = RecordingAllocator::new();
+            run_reconstruction(&mut alloc, &ReconConfig::small(2)).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_mixes_large_and_small_blocks() {
+        // The DM stress of this case study: >=30 KiB image buffers next to
+        // 16-byte record arrays.
+        let mut alloc = RecordingAllocator::new();
+        let cfg = ReconConfig::small(3);
+        run_reconstruction(&mut alloc, &cfg).unwrap();
+        let trace = alloc.finish().unwrap();
+        let profile = dmm_core::profile::Profile::of(&trace);
+        let sizes: Vec<usize> = profile.histogram.iter().map(|(s, _)| s).collect();
+        assert!(sizes.iter().any(|&s| s >= cfg.width * cfg.height));
+        assert!(sizes.iter().any(|&s| s <= 128));
+        assert!(profile.has_variable_sizes());
+    }
+
+    #[test]
+    fn runs_on_policy_allocator_with_invariants() {
+        let mut alloc = PolicyAllocator::new(presets::drr_paper()).unwrap();
+        run_reconstruction(&mut alloc, &ReconConfig::small(4)).unwrap();
+        alloc.check_invariants().unwrap();
+        assert_eq!(alloc.stats().live_requested, 0);
+    }
+
+    #[test]
+    fn image_lifetimes_overlap_frames() {
+        // At any instant two image buffers are live (prev + cur): the peak
+        // live bytes must reflect both.
+        let mut alloc = RecordingAllocator::new();
+        let cfg = ReconConfig::small(5);
+        run_reconstruction(&mut alloc, &cfg).unwrap();
+        let trace = alloc.finish().unwrap();
+        assert!(trace.peak_live_requested() >= 2 * cfg.width * cfg.height);
+    }
+}

@@ -1,0 +1,280 @@
+//! # dmm-workloads
+//!
+//! The paper's three case studies — DRR scheduling, 3D image
+//! reconstruction, 3D scalable-mesh rendering — packaged behind one
+//! [`Workload`] interface, plus synthetic micro-workloads for tests and
+//! ablations.
+//!
+//! A workload runs against any [`Allocator`]; [`Workload::record`] captures
+//! its allocation behaviour as a [`Trace`] through the ideal recorder, so
+//! every manager is evaluated on *identical* inputs (the paper's averaged
+//! 10-simulation protocol becomes 10 seeds).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod synthetic;
+
+use dmm_core::error::Result;
+use dmm_core::manager::Allocator;
+use dmm_core::trace::{RecordingAllocator, Trace};
+use dmm_mesh::{run_rendering, RenderConfig};
+use dmm_netbench::{run_drr, DrrConfig};
+use dmm_trafficgen::{Packet, TrafficConfig, TrafficGenerator};
+use dmm_vision::{run_reconstruction, ReconConfig};
+
+/// An application whose dynamic-memory behaviour is under study.
+pub trait Workload: std::fmt::Debug {
+    /// Display name (appears in tables).
+    fn name(&self) -> &str;
+
+    /// Run the whole application against `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    fn run(&self, alloc: &mut dyn Allocator) -> Result<()>;
+
+    /// Record the application's allocation trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates run failures.
+    fn record(&self) -> Result<Trace> {
+        let mut rec = RecordingAllocator::new();
+        self.run(&mut rec)?;
+        rec.finish()
+    }
+}
+
+/// The Deficit-Round-Robin scheduler case study (Section 5, first study).
+#[derive(Debug, Clone)]
+pub struct DrrWorkload {
+    name: String,
+    packets: Vec<Packet>,
+    flows: u32,
+    drr: DrrConfig,
+}
+
+impl DrrWorkload {
+    /// Paper-scale run: 10 Mbit/s bursty traffic against a 12 Mbit/s link.
+    ///
+    /// The link outruns the mean rate but not the 4× bursts, so backlog
+    /// builds and drains repeatedly — the transient queue peaks whose
+    /// footprint Figure 5 plots (a slower-than-mean link would just grow
+    /// the queue monotonically and flatten every manager to the same
+    /// peak).
+    pub fn case_study(seed: u64) -> Self {
+        Self::with_configs(
+            seed,
+            TrafficConfig {
+                duration_ms: 2_000,
+                ..TrafficConfig::drr_case_study(seed)
+            },
+            DrrConfig {
+                quantum: 1500,
+                link_rate_bps: 12_000_000,
+            },
+        )
+    }
+
+    /// Test-scale run (fast in debug builds).
+    pub fn quick(seed: u64) -> Self {
+        Self::with_configs(
+            seed,
+            TrafficConfig {
+                duration_ms: 80,
+                ..TrafficConfig::drr_case_study(seed)
+            },
+            DrrConfig {
+                quantum: 1500,
+                link_rate_bps: 12_000_000,
+            },
+        )
+    }
+
+    /// Fully custom traffic and scheduler configuration.
+    pub fn with_configs(seed: u64, traffic: TrafficConfig, drr: DrrConfig) -> Self {
+        let flows = traffic.flows;
+        let packets: Vec<Packet> = TrafficGenerator::new(traffic).collect();
+        DrrWorkload {
+            name: format!("DRR scheduler (seed {seed})"),
+            packets,
+            flows,
+            drr,
+        }
+    }
+
+    /// Number of packets in the pre-generated stream.
+    pub fn packet_count(&self) -> usize {
+        self.packets.len()
+    }
+}
+
+impl Workload for DrrWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, alloc: &mut dyn Allocator) -> Result<()> {
+        run_drr(alloc, &self.packets, self.flows, self.drr.clone())?;
+        Ok(())
+    }
+}
+
+/// The 3D image-reconstruction case study (Section 5, second study).
+#[derive(Debug, Clone)]
+pub struct ReconWorkload {
+    name: String,
+    cfg: ReconConfig,
+}
+
+impl ReconWorkload {
+    /// Paper-scale run: 640×480 frames.
+    pub fn case_study(seed: u64) -> Self {
+        ReconWorkload {
+            name: format!("3D image reconstruction (seed {seed})"),
+            cfg: ReconConfig {
+                seed,
+                ..ReconConfig::default()
+            },
+        }
+    }
+
+    /// Test-scale run.
+    pub fn quick(seed: u64) -> Self {
+        ReconWorkload {
+            name: format!("3D image reconstruction (seed {seed})"),
+            cfg: ReconConfig::small(seed),
+        }
+    }
+}
+
+impl Workload for ReconWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, alloc: &mut dyn Allocator) -> Result<()> {
+        run_reconstruction(alloc, &self.cfg)?;
+        Ok(())
+    }
+}
+
+/// The 3D scalable-mesh rendering case study (Section 5, third study).
+#[derive(Debug, Clone)]
+pub struct RenderWorkload {
+    name: String,
+    cfg: RenderConfig,
+}
+
+impl RenderWorkload {
+    /// Paper-scale run.
+    pub fn case_study(seed: u64) -> Self {
+        RenderWorkload {
+            name: format!("3D scalable rendering (seed {seed})"),
+            cfg: RenderConfig {
+                seed,
+                ..RenderConfig::default()
+            },
+        }
+    }
+
+    /// Test-scale run.
+    pub fn quick(seed: u64) -> Self {
+        RenderWorkload {
+            name: format!("3D scalable rendering (seed {seed})"),
+            cfg: RenderConfig::small(seed),
+        }
+    }
+}
+
+impl Workload for RenderWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, alloc: &mut dyn Allocator) -> Result<()> {
+        run_rendering(alloc, &self.cfg)?;
+        Ok(())
+    }
+}
+
+/// The three case studies at paper scale, for a given seed.
+pub fn case_studies(seed: u64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(DrrWorkload::case_study(seed)),
+        Box::new(ReconWorkload::case_study(seed)),
+        Box::new(RenderWorkload::case_study(seed)),
+    ]
+}
+
+/// The three case studies at test scale.
+pub fn quick_studies(seed: u64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(DrrWorkload::quick(seed)),
+        Box::new(ReconWorkload::quick(seed)),
+        Box::new(RenderWorkload::quick(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmm_core::manager::PolicyAllocator;
+    use dmm_core::space::presets;
+
+    #[test]
+    fn every_quick_study_records_a_balanced_trace() {
+        for w in quick_studies(1) {
+            let trace = w.record().unwrap();
+            assert!(!trace.is_empty(), "{}", w.name());
+            assert_eq!(
+                trace.alloc_count(),
+                trace.free_count(),
+                "{} leaks",
+                w.name()
+            );
+            assert!(trace.peak_live_requested() > 0);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        for (a, b) in quick_studies(3).iter().zip(quick_studies(3).iter()) {
+            assert_eq!(
+                a.record().unwrap(),
+                b.record().unwrap(),
+                "{} not deterministic",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_traces() {
+        let a = DrrWorkload::quick(1).record().unwrap();
+        let b = DrrWorkload::quick(2).record().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn workloads_run_directly_on_managers() {
+        for w in quick_studies(2) {
+            let mut m = PolicyAllocator::new(presets::drr_paper()).unwrap();
+            w.run(&mut m).unwrap();
+            m.check_invariants()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert_eq!(m.stats().live_requested, 0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn drr_packets_are_pregenerated_and_reused() {
+        let w = DrrWorkload::quick(5);
+        assert!(w.packet_count() > 10);
+        let t1 = w.record().unwrap();
+        let t2 = w.record().unwrap();
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Synthetic micro-workloads: small, targeted traces for unit tests,
+//! property tests and policy ablations.
+//!
+//! Each generator is deterministic per seed and returns a validated
+//! [`Trace`] directly (no application loop).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dmm_core::trace::Trace;
+
+/// `n` allocations of a single `size`, freed FIFO afterwards.
+pub fn uniform(n: usize, size: usize) -> Trace {
+    let mut b = Trace::builder();
+    let ids: Vec<u64> = (0..n).map(|_| b.alloc(size)).collect();
+    for id in ids {
+        b.free(id);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+/// Alternating small/large allocations with interleaved lifetimes — the
+/// mixed-size pattern that punishes fixed-class managers.
+pub fn bimodal(seed: u64, n: usize, small: usize, large: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Trace::builder();
+    let mut live: Vec<u64> = Vec::new();
+    for i in 0..n {
+        let size = if i % 2 == 0 { small } else { large };
+        live.push(b.alloc(size));
+        if live.len() > 8 && rng.gen_bool(0.5) {
+            let idx = rng.gen_range(0..live.len());
+            b.free(live.swap_remove(idx));
+        }
+    }
+    for id in live {
+        b.free(id);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+/// Pure LIFO (stack-like) behaviour — the pattern Obstacks exploits.
+pub fn stack_like(depth: usize, size: usize) -> Trace {
+    let mut b = Trace::builder();
+    let ids: Vec<u64> = (0..depth).map(|i| b.alloc(size + (i % 5) * 16)).collect();
+    for id in ids.into_iter().rev() {
+        b.free(id);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+/// Ramp up to a plateau, hold, then ramp down — the Figure 5 DRR shape.
+pub fn plateau(seed: u64, peak: usize, size: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Trace::builder();
+    let mut live: Vec<u64> = Vec::new();
+    for _ in 0..peak {
+        live.push(b.alloc(size + rng.gen_range(0..size)));
+    }
+    // Hold with churn.
+    for _ in 0..peak {
+        let idx = rng.gen_range(0..live.len());
+        b.free(live.swap_remove(idx));
+        live.push(b.alloc(size + rng.gen_range(0..size)));
+    }
+    for id in live {
+        b.free(id);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+/// Highly variable sizes, random frees — the fragmentation-adversarial
+/// pattern of the DRR case study.
+pub fn fragmenting(seed: u64, n: usize, max_size: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Trace::builder();
+    let mut live: Vec<u64> = Vec::new();
+    for _ in 0..n {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            live.push(b.alloc(rng.gen_range(16..=max_size.max(17))));
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            b.free(live.swap_remove(idx));
+        }
+    }
+    for id in live {
+        b.free(id);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+/// Two-phase trace: a stack-like phase 0 followed by a fragmenting
+/// phase 1 — the rendering case study in miniature.
+pub fn two_phase(seed: u64, n: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Trace::builder();
+    b.phase(0);
+    let ids: Vec<u64> = (0..n).map(|i| b.alloc(64 + (i % 7) * 32)).collect();
+    for id in ids.into_iter().rev() {
+        b.free(id);
+    }
+    b.phase(1);
+    let mut live: Vec<u64> = Vec::new();
+    for _ in 0..n {
+        if live.is_empty() || rng.gen_bool(0.55) {
+            live.push(b.alloc(rng.gen_range(100..4000)));
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            b.free(live.swap_remove(idx));
+        }
+    }
+    for id in live {
+        b.free(id);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmm_core::profile::Profile;
+
+    #[test]
+    fn all_generators_balance_allocs_and_frees() {
+        let traces = [
+            uniform(50, 64),
+            bimodal(1, 100, 32, 2048),
+            stack_like(40, 64),
+            plateau(2, 60, 256),
+            fragmenting(3, 200, 1500),
+            two_phase(4, 50),
+        ];
+        for t in traces {
+            assert_eq!(t.alloc_count(), t.free_count());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(fragmenting(9, 100, 500), fragmenting(9, 100, 500));
+        assert_ne!(fragmenting(9, 100, 500), fragmenting(10, 100, 500));
+    }
+
+    #[test]
+    fn stack_like_profile_detects_lifo() {
+        let p = Profile::of(&stack_like(30, 64));
+        assert!(p.phases[0].stack_like);
+        let p = Profile::of(&fragmenting(5, 200, 800));
+        assert!(!p.phases[0].stack_like);
+    }
+
+    #[test]
+    fn plateau_peaks_at_construction_height() {
+        let t = plateau(6, 50, 100);
+        // At the hold point, ~50 blocks of 100..200 bytes are live.
+        assert!(t.peak_live_requested() >= 50 * 100);
+        assert!(t.peak_live_requested() <= 50 * 200 + 200);
+    }
+
+    #[test]
+    fn two_phase_has_phase_markers() {
+        let t = two_phase(7, 30);
+        assert_eq!(t.phases(), vec![0, 1]);
+        let parts = t.split_phases();
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn bimodal_has_exactly_two_dominant_sizes() {
+        let p = Profile::of(&bimodal(8, 100, 32, 2048));
+        let top = p.histogram.top_k(2);
+        let sizes: Vec<usize> = top.iter().map(|(s, _)| *s).collect();
+        assert!(sizes.contains(&32) && sizes.contains(&2048));
+    }
+}

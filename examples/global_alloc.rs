@@ -1,0 +1,62 @@
+//! Any manager from the search space can serve *real memory* through
+//! Rust's `GlobalAlloc` interface: back it with a fixed-capacity buffer
+//! (an embedded-style static heap) and hand out stable pointers.
+//!
+//! Run with `cargo run --release --example global_alloc`.
+
+use std::alloc::{GlobalAlloc, Layout};
+
+use dmm::core::galloc::ArenaAlloc;
+use dmm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 256 KiB embedded heap managed by the paper's DRR custom manager.
+    let capacity = 256 * 1024;
+    let mut cfg = presets::drr_paper();
+    cfg.params.arena_limit = Some(capacity);
+    let heap = ArenaAlloc::with_capacity(PolicyAllocator::new(cfg)?, capacity);
+    println!("embedded heap: {} B capacity", heap.capacity());
+
+    // Safe-wrapper usage: store real data, read it back.
+    let mut ptrs = Vec::new();
+    for i in 0..64usize {
+        let size = 64 + i * 17;
+        let p = heap.allocate(size).expect("heap not exhausted");
+        unsafe { std::ptr::write_bytes(p.as_ptr(), i as u8, size) };
+        ptrs.push((p, size, i as u8));
+    }
+    for &(p, size, tag) in &ptrs {
+        unsafe {
+            assert_eq!(*p.as_ptr(), tag);
+            assert_eq!(*p.as_ptr().add(size - 1), tag);
+        }
+    }
+    println!(
+        "wrote/verified {} buffers; manager footprint {} B, live blocks {}",
+        ptrs.len(),
+        heap.footprint(),
+        heap.live_count()
+    );
+    for (p, _, _) in ptrs {
+        heap.deallocate(p);
+    }
+    println!("after frees: live blocks {}", heap.live_count());
+
+    // Raw GlobalAlloc interface, including over-aligned layouts.
+    unsafe {
+        let layout = Layout::from_size_align(1024, 256)?;
+        let p = GlobalAlloc::alloc(&heap, layout);
+        assert!(!p.is_null());
+        assert_eq!(p as usize % 256, 0, "over-aligned allocation");
+        GlobalAlloc::dealloc(&heap, p, layout);
+    }
+    println!("GlobalAlloc interface: over-aligned alloc/dealloc ok");
+
+    // Exhaustion behaves like an embedded heap: null, then recovery.
+    let a = heap.allocate(200 * 1024).expect("fits");
+    assert!(heap.allocate(100 * 1024).is_none(), "exhausted -> None");
+    heap.deallocate(a);
+    assert!(heap.allocate(100 * 1024).is_some(), "recovered");
+    println!("exhaustion + recovery ok");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: profile an application, let the methodology design a custom
+//! DM manager, and compare it against the general-purpose managers.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use dmm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An application: the Deficit-Round-Robin packet scheduler fed with
+    //    bursty synthetic internet traffic (quick scale for the example).
+    let workload = DrrWorkload::quick(1);
+    println!("workload: {}", workload.name());
+
+    // 2. Record its dynamic-memory behaviour once, policy-free.
+    let trace = workload.record()?;
+    println!(
+        "trace: {} events, peak live {} bytes",
+        trace.len(),
+        trace.peak_live_requested()
+    );
+
+    // 3. Profile it — the inputs the methodology consults.
+    let profile = Profile::of(&trace);
+    println!(
+        "profile: {} distinct sizes, size variability {:.2}",
+        profile.histogram.distinct(),
+        profile.histogram.coefficient_of_variation()
+    );
+
+    // 4. Traverse the decision trees in the paper's order (Section 4.2).
+    let outcome = Methodology::new()
+        .with_name("our DM manager")
+        .explore(&trace)?;
+    println!("\ndecisions (A2->A5->E2->D2->E1->D1->B4->B1->C1->A1->A3->A4):");
+    for d in &outcome.decisions {
+        println!("  {:<3} -> {}", d.tree.code(), d.chosen);
+    }
+
+    // 5. Replay the very same trace through every manager.
+    println!("\npeak footprint on the identical trace:");
+    let mut managers: Vec<Box<dyn Allocator>> = vec![
+        Box::new(KingsleyAllocator::with_initial_region(64 * 1024)),
+        Box::new(LeaAllocator::new()),
+        Box::new(PolicyAllocator::new(outcome.config)?),
+    ];
+    let mut results = Vec::new();
+    for m in managers.iter_mut() {
+        let fs = replay(&trace, m.as_mut())?;
+        println!("  {:<18} {:>10} bytes", fs.manager, fs.peak_footprint);
+        results.push(fs.peak_footprint);
+    }
+    let ours = *results.last().expect("measured");
+    println!(
+        "\nours improves Kingsley by {:.1}% and Lea by {:.1}%",
+        dmm::core::metrics::percent_improvement(ours, results[0]),
+        dmm::core::metrics::percent_improvement(ours, results[1]),
+    );
+    Ok(())
+}

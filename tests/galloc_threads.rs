@@ -1,0 +1,119 @@
+//! Concurrency tests for the `GlobalAlloc` adapter: the mutex-guarded
+//! arena must stay consistent when hammered from several threads — the
+//! property a real global allocator must have.
+
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use dmm::core::galloc::ArenaAlloc;
+use dmm::prelude::*;
+
+fn heap(capacity: usize) -> Arc<ArenaAlloc<PolicyAllocator>> {
+    let mut cfg = presets::drr_paper();
+    cfg.params.arena_limit = Some(capacity);
+    Arc::new(ArenaAlloc::with_capacity(
+        PolicyAllocator::new(cfg).expect("valid config"),
+        capacity,
+    ))
+}
+
+#[test]
+fn concurrent_alloc_free_round_trips_data() {
+    let heap = heap(1 << 20);
+    let threads: Vec<_> = (0..4u8)
+        .map(|t| {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                for round in 0..50usize {
+                    let mut ptrs: Vec<(NonNull<u8>, usize)> = Vec::new();
+                    for i in 0..16usize {
+                        let size = 32 + (i * 13 + round * 7) % 900;
+                        let p = heap.allocate(size).expect("capacity suffices");
+                        unsafe { std::ptr::write_bytes(p.as_ptr(), t, size) };
+                        ptrs.push((p, size));
+                    }
+                    for (p, size) in &ptrs {
+                        unsafe {
+                            assert_eq!(*p.as_ptr(), t, "corruption at start");
+                            assert_eq!(*p.as_ptr().add(size - 1), t, "corruption at end");
+                        }
+                    }
+                    for (p, _) in ptrs {
+                        heap.deallocate(p);
+                    }
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("no panics");
+    }
+    assert_eq!(heap.live_count(), 0, "all blocks returned");
+}
+
+#[test]
+fn concurrent_blocks_never_alias() {
+    let heap = heap(1 << 20);
+    let handles: Vec<_> = (0..4u8)
+        .map(|_| {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                // NonNull is not Send; carry raw addresses across the join.
+                let mut spans: Vec<(usize, usize)> = Vec::new();
+                for i in 0..64usize {
+                    let size = 64 + i % 200;
+                    let p = heap.allocate(size).expect("fits");
+                    spans.push((p.as_ptr() as usize, size));
+                }
+                spans
+            })
+        })
+        .collect();
+    let mut all: Vec<(usize, usize)> = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("no panics"));
+    }
+    all.sort_by_key(|&(a, _)| a);
+    for w in all.windows(2) {
+        let (a, la) = w[0];
+        let (b, _) = w[1];
+        assert!(a + la <= b, "live blocks overlap across threads");
+    }
+    for (addr, _) in all {
+        heap.deallocate(NonNull::new(addr as *mut u8).expect("non-null"));
+    }
+    assert_eq!(heap.live_count(), 0);
+}
+
+#[test]
+fn exhaustion_under_contention_is_clean() {
+    // A small heap shared by threads that often exhaust it: failures must
+    // be clean `None`s, never corruption or deadlock.
+    let heap = heap(64 * 1024);
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut failed = 0usize;
+                for i in 0..200usize {
+                    match heap.allocate(1024 + (i % 7) * 512) {
+                        Some(p) => {
+                            ok += 1;
+                            heap.deallocate(p);
+                        }
+                        None => failed += 1,
+                    }
+                }
+                (ok, failed)
+            })
+        })
+        .collect();
+    let mut total_ok = 0;
+    for th in threads {
+        let (ok, _) = th.join().expect("no panics");
+        total_ok += ok;
+    }
+    assert!(total_ok > 0, "some allocations must succeed");
+    assert_eq!(heap.live_count(), 0);
+}

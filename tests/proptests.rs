@@ -1,0 +1,189 @@
+//! Property-based tests over the whole manager zoo: random traces through
+//! every allocator must preserve the structural invariants, balance
+//! accounting, and replay deterministically.
+
+use proptest::prelude::*;
+
+use dmm::prelude::*;
+use dmm::core::trace::TraceEvent;
+
+/// Strategy: a well-formed trace of interleaved allocs/frees with sizes in
+/// `1..=max_size`, always freeing everything at the end.
+fn trace_strategy(max_ops: usize, max_size: usize) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((any::<u16>(), 1..=max_size), 1..max_ops).prop_map(|ops| {
+        let mut b = Trace::builder();
+        let mut live: Vec<u64> = Vec::new();
+        for (sel, size) in ops {
+            // Two thirds allocate, one third frees a pseudo-random live id.
+            if live.is_empty() || sel % 3 != 0 {
+                live.push(b.alloc(size));
+            } else {
+                let idx = (sel as usize / 3) % live.len();
+                b.free(live.swap_remove(idx));
+            }
+        }
+        for id in live {
+            b.free(id);
+        }
+        b.finish().expect("constructed traces are valid")
+    })
+}
+
+/// Every manager under test, freshly constructed.
+fn all_managers() -> Vec<Box<dyn Allocator>> {
+    vec![
+        Box::new(PolicyAllocator::new(presets::drr_paper()).expect("valid")),
+        Box::new(PolicyAllocator::new(presets::kingsley_like()).expect("valid")),
+        Box::new(PolicyAllocator::new(presets::lea_like()).expect("valid")),
+        Box::new(KingsleyAllocator::new()),
+        Box::new(LeaAllocator::new()),
+        Box::new(RegionAllocator::with_default_regions()),
+        Box::new(ObstackAllocator::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After a balanced trace, every manager reports zero live memory and
+    /// a footprint at least the trace's peak demand at its peak.
+    #[test]
+    fn balanced_traces_leave_no_live_memory(trace in trace_strategy(120, 4096)) {
+        for mut m in all_managers() {
+            let fs = replay(&trace, m.as_mut()).expect("replay");
+            prop_assert_eq!(fs.stats.live_requested, 0, "{} leaked", fs.manager);
+            prop_assert_eq!(fs.stats.allocs as usize, trace.alloc_count());
+            prop_assert_eq!(fs.stats.frees as usize, trace.free_count());
+            prop_assert!(fs.peak_footprint >= trace.peak_live_requested(),
+                "{}: peak {} below demand {}", fs.manager, fs.peak_footprint,
+                trace.peak_live_requested());
+        }
+    }
+
+    /// The policy allocator's internal invariants (tiling, index/map
+    /// agreement, live accounting) hold mid-trace for every preset.
+    #[test]
+    fn policy_invariants_hold_mid_trace(trace in trace_strategy(100, 2048)) {
+        for cfg in presets::all() {
+            let mut m = PolicyAllocator::new(cfg).expect("valid");
+            let mut handles = std::collections::HashMap::new();
+            for (i, ev) in trace.events().iter().enumerate() {
+                match ev {
+                    TraceEvent::Alloc { id, size } => {
+                        handles.insert(*id, m.alloc(*size).expect("alloc"));
+                    }
+                    TraceEvent::Free { id } => {
+                        let h = handles.remove(id).expect("live handle");
+                        m.free(h).expect("free");
+                    }
+                    TraceEvent::Phase { .. } => {}
+                }
+                if i % 17 == 0 {
+                    if let Err(e) = m.check_invariants() {
+                        prop_assert!(false, "{} at event {i}: {e}", m.name());
+                    }
+                }
+            }
+            prop_assert!(m.check_invariants().is_ok());
+        }
+    }
+
+    /// Replay is a pure function of (trace, manager construction).
+    #[test]
+    fn replay_is_deterministic(trace in trace_strategy(80, 1024)) {
+        for (mut a, mut b) in all_managers().into_iter().zip(all_managers()) {
+            let fa = replay(&trace, a.as_mut()).expect("replay");
+            let fb = replay(&trace, b.as_mut()).expect("replay");
+            prop_assert_eq!(fa, fb);
+        }
+    }
+
+    /// Live handles are unique: no two live blocks overlap in address
+    /// space for the policy allocator (spot-checked through offsets).
+    #[test]
+    fn live_handles_never_alias(sizes in proptest::collection::vec(1usize..2000, 1..40)) {
+        let mut m = PolicyAllocator::new(presets::drr_paper()).expect("valid");
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, len)
+        for s in sizes {
+            let h = m.alloc(s).expect("alloc");
+            for &(o, l) in &live {
+                let no_overlap = h.offset() + s <= o || o + l <= h.offset();
+                prop_assert!(no_overlap, "block at {} size {s} overlaps ({o},{l})", h.offset());
+            }
+            live.push((h.offset(), s));
+        }
+    }
+
+    /// Footprint accounting identity: internal + external fragmentation +
+    /// live payload + static overhead always equals the reported system
+    /// bytes.
+    #[test]
+    fn fragmentation_identity(trace in trace_strategy(60, 1024)) {
+        for cfg in presets::all() {
+            let mut m = PolicyAllocator::new(cfg).expect("valid");
+            let _ = replay(&trace, &mut m).expect("replay");
+            let s = m.stats();
+            prop_assert_eq!(
+                s.internal_fragmentation()
+                    + s.external_fragmentation()
+                    + s.live_requested
+                    + s.static_overhead,
+                s.system,
+                "{}", m.name()
+            );
+        }
+    }
+
+    /// Random alloc/realloc/free interleavings keep the policy allocator's
+    /// invariants and accounting exact.
+    #[test]
+    fn realloc_interleavings_stay_consistent(
+        ops in proptest::collection::vec((any::<u16>(), 1usize..3000), 1..100)
+    ) {
+        for cfg in [presets::drr_paper(), presets::lea_like()] {
+            let mut m = PolicyAllocator::new(cfg).expect("valid");
+            let mut live: Vec<(BlockHandle, usize)> = Vec::new();
+            for (sel, size) in &ops {
+                match sel % 3 {
+                    0 => live.push((m.alloc(*size).expect("alloc"), *size)),
+                    1 if !live.is_empty() => {
+                        let idx = (*sel as usize / 3) % live.len();
+                        let (h, _) = live.swap_remove(idx);
+                        m.free(h).expect("free");
+                    }
+                    _ if !live.is_empty() => {
+                        let idx = (*sel as usize / 7) % live.len();
+                        let (h, _) = live.swap_remove(idx);
+                        let h = m.realloc(h, *size).expect("realloc");
+                        live.push((h, *size));
+                    }
+                    _ => live.push((m.alloc(*size).expect("alloc"), *size)),
+                }
+            }
+            let expect: usize = live.iter().map(|(_, s)| *s).sum();
+            prop_assert_eq!(m.stats().live_requested, expect, "{}", m.name());
+            if let Err(e) = m.check_invariants() {
+                prop_assert!(false, "{}: {e}", m.name());
+            }
+            for (h, _) in live {
+                m.free(h).expect("free");
+            }
+            prop_assert_eq!(m.stats().live_requested, 0);
+        }
+    }
+
+    /// The methodology always returns a valid configuration whose replay
+    /// does not exceed the worst candidate it evaluated.
+    #[test]
+    fn methodology_output_is_valid_and_not_worst(trace in trace_strategy(60, 2000)) {
+        let outcome = Methodology::new().explore(&trace).expect("explore");
+        outcome.config.validate().expect("valid config");
+        let worst = outcome
+            .decisions
+            .iter()
+            .flat_map(|d| d.candidates.iter().map(|c| c.peak_footprint))
+            .max()
+            .expect("candidates exist");
+        prop_assert!(outcome.footprint.peak_footprint <= worst);
+    }
+}
