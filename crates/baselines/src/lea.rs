@@ -476,7 +476,7 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            if live.is_empty() || x % 3 != 0 {
+            if live.is_empty() || !x.is_multiple_of(3) {
                 live.push(lea.alloc(8 + (x % 3000) as usize).unwrap());
             } else {
                 let idx = (x as usize / 5) % live.len();

@@ -264,7 +264,7 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            if live.is_empty() || x % 3 != 0 {
+            if live.is_empty() || !x.is_multiple_of(3) {
                 live.push(ob.alloc(16 + (x % 500) as usize).unwrap());
             } else {
                 let idx = (x as usize) % live.len();

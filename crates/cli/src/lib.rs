@@ -213,7 +213,16 @@ pub fn explore_text(inv: &Invocation) -> Result<String> {
             );
         }
     }
-    let _ = writeln!(out, "\nfinal configuration: {}", outcome.config.summary());
+    // The designed config is the best completion found anywhere during the
+    // search (incumbent + probe portfolio), which can differ from the
+    // greedy per-tree choices starred above — say so to avoid reading the
+    // two as contradictory.
+    let _ = writeln!(
+        out,
+        "\nfinal configuration (best design evaluated; may differ from the \
+         starred greedy path): {}",
+        outcome.config.summary()
+    );
     let _ = writeln!(
         out,
         "peak footprint: {} B (application peak live: {} B)",

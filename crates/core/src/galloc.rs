@@ -179,7 +179,7 @@ unsafe impl<M: Allocator + Send> GlobalAlloc for ArenaAlloc<M> {
                     return std::ptr::null_mut();
                 }
                 let new_ptr = (self.buffer.as_ptr() as usize + offset) as *mut u8;
-                if new_ptr as *const u8 != ptr {
+                if !std::ptr::eq(new_ptr, ptr) {
                     std::ptr::copy(ptr, new_ptr, layout.size().min(new_size));
                 }
                 inner.by_ptr.insert(new_ptr as usize, new_handle);

@@ -178,7 +178,7 @@ fn search(
             let mut best: Option<(usize, usize)> = None;
             for (slot, span) in slab.iter() {
                 *steps += 1;
-                if span.len >= len && best.map_or(true, |(_, bl)| span.len < bl) {
+                if span.len >= len && best.is_none_or(|(_, bl)| span.len < bl) {
                     best = Some((slot, span.len));
                     if span.len == len {
                         break; // cannot do better than exact
@@ -191,7 +191,7 @@ fn search(
             let mut worst: Option<(usize, usize)> = None;
             for (slot, span) in slab.iter() {
                 *steps += 1;
-                if span.len >= len && worst.map_or(true, |(_, wl)| span.len > wl) {
+                if span.len >= len && worst.is_none_or(|(_, wl)| span.len > wl) {
                     worst = Some((slot, span.len));
                 }
             }

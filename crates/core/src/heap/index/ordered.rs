@@ -88,7 +88,7 @@ impl FreeIndex for AddrIndex {
                 let mut best: Option<Span> = None;
                 for (&o, &l) in self.by_offset.iter() {
                     *steps += 1;
-                    if l >= len && best.map_or(true, |b| l < b.len) {
+                    if l >= len && best.is_none_or(|b| l < b.len) {
                         best = Some(Span::new(o, l));
                         if l == len {
                             break;
@@ -101,7 +101,7 @@ impl FreeIndex for AddrIndex {
                 let mut worst: Option<Span> = None;
                 for (&o, &l) in self.by_offset.iter() {
                     *steps += 1;
-                    if l >= len && worst.map_or(true, |w| l > w.len) {
+                    if l >= len && worst.is_none_or(|w| l > w.len) {
                         worst = Some(Span::new(o, l));
                     }
                 }

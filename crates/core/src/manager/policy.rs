@@ -569,7 +569,7 @@ impl Allocator for PolicyAllocator {
         blk.state = BlockState::Used;
         blk.requested = req;
         blk.pool = home_final;
-        *&mut steps += 1; // stamp the tag
+        steps += 1; // stamp the tag
 
         self.stats.on_alloc(req, kept);
         self.stats.search_steps += steps;
@@ -639,7 +639,7 @@ impl Allocator for PolicyAllocator {
             || (new_len < old_len
                 && self
                     .split_trigger()
-                    .map_or(true, |t| old_len - new_len < t));
+                    .is_none_or(|t| old_len - new_len < t));
         if fits_in_place {
             let blk = self.blocks.get_mut(offset).expect("checked above");
             blk.requested = new_req;
@@ -1167,7 +1167,7 @@ mod tests {
                 x ^= x << 13;
                 x ^= x >> 7;
                 x ^= x << 17;
-                if live.is_empty() || x % 3 != 0 {
+                if live.is_empty() || !x.is_multiple_of(3) {
                     let size = 16 + (x as usize % 2000);
                     live.push(m.alloc(size).unwrap());
                 } else {

@@ -131,6 +131,9 @@ impl Pools {
     /// # Panics
     ///
     /// Panics if `pool` does not exist (route first) or is [`UNINDEXED`].
+    // Not `std::ops::IndexMut`: that trait cannot return a trait object and
+    // must be paired with `Index`, which has no use here.
+    #[allow(clippy::should_implement_trait)]
     pub fn index_mut(&mut self, pool: usize) -> &mut (dyn FreeIndex + Send) {
         assert_ne!(pool, UNINDEXED, "unindexed pseudo-pool has no index");
         self.indexes[pool].as_mut()
@@ -272,6 +275,72 @@ mod tests {
                 assert_eq!(cost, 1);
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "unindexed pseudo-pool has no index")]
+    fn unindexed_pseudo_pool_has_no_index() {
+        let mut pools = Pools::new(&presets::drr_paper());
+        let _ = pools.index_mut(UNINDEXED);
+    }
+
+    #[test]
+    fn unindexed_never_collides_with_a_real_pool() {
+        // Route far more classes than any workload uses: the sentinel must
+        // stay out of reach of materialised pool ids.
+        let mut pools = Pools::new(&presets::kingsley_like());
+        let mut s = 0u64;
+        for shift in 4..30 {
+            let p = pools.route(1usize << shift, &mut s);
+            assert_ne!(p, UNINDEXED);
+        }
+        assert!(pools.pool_count() < UNINDEXED);
+    }
+
+    #[test]
+    fn many_sizes_route_like_pow2_but_keep_exact_lengths() {
+        // With per-class pools, `Many` routes through power-of-two classes
+        // for segregated storage while class_len stays exact.
+        use crate::space::trees::{BlockSizes, Leaf, PoolDivision};
+        let cfg = presets::kingsley_like()
+            .with_leaf(Leaf::B1(PoolDivision::PoolPerSizeClass));
+        let mut pow2 = Pools::new(&cfg);
+        let mut many = Pools::new(&{
+            let mut c = cfg.clone();
+            c.block_sizes = BlockSizes::Many;
+            c
+        });
+        let mut s = 0u64;
+        for len in [1, 16, 17, 100, 1000, 4096] {
+            assert_eq!(pow2.route(len, &mut s), many.route(len, &mut s), "len {len}");
+            assert_eq!(many.class_len(len), len, "many keeps exact length");
+            assert_eq!(pow2.class_len(len), pow2_class(len));
+        }
+    }
+
+    #[test]
+    fn find_in_returns_indexed_spans_and_total_free_tracks_them() {
+        use crate::space::trees::FitAlgorithm;
+        let mut pools = Pools::new(&presets::drr_paper());
+        let mut s = 0u64;
+        let pool = pools.route(64, &mut s);
+        assert_eq!(pools.total_free(), 0);
+        pools.index_mut(pool).insert(Span::new(0, 64), &mut s);
+        pools.index_mut(pool).insert(Span::new(128, 32), &mut s);
+        assert_eq!(pools.total_free(), 2);
+        let hit = pools.find_in(pool, FitAlgorithm::BestFit, 48, &mut s);
+        assert_eq!(hit, Some(Span::new(0, 64)), "best fit picks the 64-byte span");
+        pools.clear();
+        assert_eq!(pools.total_free(), 0);
+    }
+
+    #[test]
+    fn pools_above_covers_larger_classes_only() {
+        let mut pools = Pools::new(&presets::kingsley_like());
+        let mut s = 0u64;
+        pools.route(4096, &mut s); // materialise classes 16..=4096
+        let above = pools.pools_above(3);
+        assert_eq!(above, 4..pools.pool_count());
     }
 
     #[test]

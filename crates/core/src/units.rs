@@ -90,6 +90,38 @@ mod tests {
     }
 
     #[test]
+    fn align_up_handles_larger_alignments() {
+        for align in [1usize, 2, 4, 8, 16, 64, 4096] {
+            for n in [0usize, 1, 7, 63, 100, 4095, 4096, 10_000] {
+                let a = align_up(n, align);
+                assert_eq!(a % align, 0, "align_up({n}, {align}) = {a} not aligned");
+                assert!(a >= n);
+                assert!(a - n < align, "overshoot: align_up({n}, {align}) = {a}");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the *relations* are the test
+    fn model_constants_are_consistent() {
+        // A free block must hold two intrusive links plus a size field.
+        assert!(MIN_BLOCK >= 2 * POINTER_BYTES + SIZE_FIELD_BYTES);
+        assert!(MIN_ALIGN.is_power_of_two());
+        assert!(MIN_BLOCK.is_power_of_two());
+        assert_eq!(MIN_BLOCK % MIN_ALIGN, 0, "min block must stay aligned");
+        assert_eq!(SBRK_GRANULARITY % MIN_ALIGN, 0);
+    }
+
+    #[test]
+    fn pow2_class_returns_powers_of_two() {
+        for n in 1..5_000 {
+            let c = pow2_class(n);
+            assert!(c.is_power_of_two(), "pow2_class({n}) = {c}");
+            assert!(c < 2 * n.max(MIN_BLOCK), "not the *next* power of two");
+        }
+    }
+
+    #[test]
     fn pow2_class_is_monotone() {
         let mut prev = 0;
         for n in 0..10_000 {

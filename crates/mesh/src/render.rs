@@ -88,7 +88,7 @@ pub fn run_rendering(alloc: &mut dyn Allocator, cfg: &RenderConfig) -> Result<Re
 
     // Object paths: oscillating distances with per-object phase.
     let paths: Vec<(f32, f32)> = (0..cfg.objects)
-        .map(|_| (rng.gen_range(1.0f32..24.0), rng.gen_range(0.0f32..6.28)))
+        .map(|_| (rng.gen_range(1.0f32..24.0), rng.gen_range(0.0f32..std::f32::consts::TAU)))
         .collect();
 
     // Long-lived per-object texture caches, evicted at random times

@@ -174,10 +174,7 @@ impl DrrScheduler {
             self.stats.rounds += 1;
             self.queues[flow].deficit += self.cfg.quantum;
             // Send while the deficit covers the head packet.
-            loop {
-                let Some(p) = self.queues[flow].packets.front() else {
-                    break;
-                };
+            while let Some(p) = self.queues[flow].packets.front() {
                 if p.size > self.queues[flow].deficit || (p.size as f64) > self.credit {
                     break;
                 }

@@ -152,7 +152,7 @@ impl TrafficGenerator {
         // leave small/large checkerboards in the heap — the fragmentation
         // pressure the paper's DRR study exercises.
         let w = &self.cfg.size_weights;
-        let bias = if flow % 2 == 0 { 2.0 } else { 0.4 };
+        let bias = if flow.is_multiple_of(2) { 2.0 } else { 0.4 };
         let weights = [w[0] * bias, w[1], w[2] / bias, w[3]];
         let total: f64 = weights.iter().sum();
         let mut u: f64 = self.rng.gen_range(0.0..total);
