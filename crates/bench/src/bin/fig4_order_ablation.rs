@@ -2,16 +2,16 @@
 //! vs. a myopic A3-first designer on the DRR trace.
 //!
 //! Usage: `cargo run -p dmm-bench --release --bin fig4_order_ablation
-//! [--quick] [--csv]`
-
-
+//! [--quick] [--csv] [--jobs=N]`
 
 fn main() {
     let opts = dmm_bench::opts::parse();
-    let table = dmm_bench::fig4_order_ablation(opts.quick).expect("figure 4 harness failed");
+    let (table, counters) =
+        dmm_bench::fig4_order_ablation(opts.quick, opts.jobs).expect("figure 4 harness failed");
     if opts.csv {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.to_ascii());
     }
+    eprintln!("exploration: {counters}");
 }

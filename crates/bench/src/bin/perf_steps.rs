@@ -1,16 +1,17 @@
 //! Deterministic execution-cost proxy (search steps) per manager on the
 //! DRR trace; wall-clock numbers come from `cargo bench` (`perf_overhead`).
 //!
-//! Usage: `cargo run -p dmm-bench --release --bin perf_steps [--quick] [--csv]`
-
-
+//! Usage: `cargo run -p dmm-bench --release --bin perf_steps [--quick]
+//! [--csv] [--jobs=N]`
 
 fn main() {
     let opts = dmm_bench::opts::parse();
-    let table = dmm_bench::perf_steps_table(opts.quick).expect("perf harness failed");
+    let (table, counters) =
+        dmm_bench::perf_steps_table(opts.quick, opts.jobs).expect("perf harness failed");
     if opts.csv {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.to_ascii());
     }
+    eprintln!("exploration: {counters}");
 }

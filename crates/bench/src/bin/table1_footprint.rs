@@ -2,17 +2,16 @@
 //! manager on the three case studies.
 //!
 //! Usage: `cargo run -p dmm-bench --release --bin table1_footprint
-//! [--quick] [--csv] [--seeds=N]`
-
-
+//! [--quick] [--csv] [--seeds=N] [--jobs=N]`
 
 fn main() {
     let opts = dmm_bench::opts::parse();
-    let table = dmm_bench::table1_footprint(opts.seeds, opts.quick)
+    let (table, counters) = dmm_bench::table1_footprint(opts.seeds, opts.quick, opts.jobs)
         .expect("table 1 harness failed");
     if opts.csv {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.to_ascii());
     }
+    eprintln!("exploration: {counters}");
 }

@@ -3,9 +3,10 @@
 //! footprint"): the weighted methodology objective at several step
 //! weights, on the DRR trace.
 //!
-//! Usage: `cargo run -p dmm-bench --release --bin tradeoff_curve [--quick] [--csv]`
+//! Usage: `cargo run -p dmm-bench --release --bin tradeoff_curve [--quick]
+//! [--csv] [--jobs=N]`
 
-use dmm_core::methodology::tradeoff_curve;
+use dmm_core::methodology::{tradeoff_curve_with, ExplorationEngine};
 use dmm_report::{Cell, Table};
 use dmm_workloads::{DrrWorkload, Workload};
 
@@ -18,7 +19,10 @@ fn main() {
     };
     let trace = workload.record().expect("record");
     let weights = [0.0, 0.05, 0.2, 1.0, 5.0];
-    let points = tradeoff_curve(&trace, &weights).expect("sweep");
+    // One engine serves every sweep point: the weights re-derive many of
+    // the same configurations, which become replay-cache hits.
+    let engine = ExplorationEngine::new(opts.jobs);
+    let points = tradeoff_curve_with(&trace, &weights, &engine).expect("sweep");
     let mut table = Table::new(
         "Trade-off sweep: step weight vs footprint vs search steps (DRR)",
         vec![
@@ -43,4 +47,5 @@ fn main() {
     } else {
         print!("{}", table.to_ascii());
     }
+    eprintln!("exploration: {}", engine.counters());
 }

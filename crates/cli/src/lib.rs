@@ -43,6 +43,8 @@ pub struct Invocation {
     pub full: bool,
     /// `--seed=N` option.
     pub seed: u64,
+    /// `--jobs=N` option: exploration worker threads (0 = all cores).
+    pub jobs: usize,
 }
 
 impl Invocation {
@@ -52,12 +54,17 @@ impl Invocation {
         let mut positional = Vec::new();
         let mut full = false;
         let mut seed = 0u64;
+        let mut jobs = 0usize;
         let mut seen_command = false;
         for a in args {
             if a == "--full" {
                 full = true;
             } else if let Some(s) = a.strip_prefix("--seed=") {
                 seed = s.parse().unwrap_or(0);
+            } else if let Some(s) = a.strip_prefix("--jobs=") {
+                // A malformed value falls back to serial (1), not to all
+                // cores (0) — the opposite extreme of a likely typo.
+                jobs = s.parse().unwrap_or(1);
             } else if !seen_command {
                 command = a.clone();
                 seen_command = true;
@@ -70,6 +77,7 @@ impl Invocation {
             positional,
             full,
             seed,
+            jobs,
         }
     }
 }
@@ -96,7 +104,7 @@ fn workload(inv: &Invocation) -> Result<Box<dyn Workload>> {
 pub fn help_text() -> String {
     "dmm — custom dynamic-memory-manager design methodology (DATE 2004)\n\
      \n\
-     USAGE: dmm <command> [workload] [--full] [--seed=N]\n\
+     USAGE: dmm <command> [workload] [--full] [--seed=N] [--jobs=N]\n\
      \n\
      COMMANDS:\n\
        space              print the DM-management decision trees (Figure 1)\n\
@@ -107,7 +115,10 @@ pub fn help_text() -> String {
        phases <wl>        detect logical phases from DM behaviour alone\n\
        help               this text\n\
      \n\
-     WORKLOADS: drr | recon | render  (test scale; add --full for paper scale)\n"
+     WORKLOADS: drr | recon | render  (test scale; add --full for paper scale)\n\
+     \n\
+     --jobs=N fans exploration replays out over N threads (0 = all cores;\n\
+     results are bit-identical to a serial run)\n"
         .to_string()
 }
 
@@ -195,10 +206,14 @@ pub fn profile_text(inv: &Invocation) -> Result<String> {
 pub fn explore_text(inv: &Invocation) -> Result<String> {
     let w = workload(inv)?;
     let trace = w.record()?;
-    let outcome = Methodology::new().explore(&trace)?;
+    let outcome = Methodology::new().with_jobs(inv.jobs).explore(&trace)?;
     let mut out = String::new();
     let _ = writeln!(out, "workload: {}", w.name());
-    let _ = writeln!(out, "evaluations: {}", outcome.evaluations);
+    let _ = writeln!(
+        out,
+        "evaluations: {} ({} replays, {} cache hits)",
+        outcome.evaluations, outcome.replays, outcome.cache_hits
+    );
     let _ = writeln!(out, "decision log (traversal order of Section 4.2):");
     for d in &outcome.decisions {
         let _ = writeln!(out, "  {} -> {}", d.tree.code(), d.chosen);
@@ -225,6 +240,11 @@ pub fn explore_text(inv: &Invocation) -> Result<String> {
     );
     let _ = writeln!(
         out,
+        "config fingerprint: {:016x}",
+        outcome.config.fingerprint()
+    );
+    let _ = writeln!(
+        out,
         "peak footprint: {} B (application peak live: {} B)",
         outcome.footprint.peak_footprint,
         trace.peak_live_requested()
@@ -243,6 +263,7 @@ pub fn compare_text(inv: &Invocation) -> Result<String> {
     let profile = Profile::of(&trace);
     let custom = Methodology::new()
         .with_name("our DM manager")
+        .with_jobs(inv.jobs)
         .explore(&trace)?;
     let mut managers: Vec<Box<dyn Allocator>> = vec![
         Box::new(KingsleyAllocator::with_initial_region(if inv.full {
@@ -367,11 +388,35 @@ mod tests {
 
     #[test]
     fn parse_flags_and_positionals() {
-        let i = inv(&["explore", "recon", "--seed=7", "--full"]);
+        let i = inv(&["explore", "recon", "--seed=7", "--full", "--jobs=4"]);
         assert_eq!(i.command, "explore");
         assert_eq!(i.positional, vec!["recon"]);
         assert_eq!(i.seed, 7);
         assert!(i.full);
+        assert_eq!(i.jobs, 4);
+        assert_eq!(inv(&["explore"]).jobs, 0, "jobs defaults to all cores");
+        assert_eq!(
+            inv(&["explore", "--jobs=oops"]).jobs,
+            1,
+            "malformed jobs falls back to serial, not all cores"
+        );
+    }
+
+    #[test]
+    fn explore_reports_cache_counters_and_jobs_agree() {
+        let serial = explore_text(&inv(&["explore", "drr", "--jobs=1"])).unwrap();
+        let parallel = explore_text(&inv(&["explore", "drr", "--jobs=4"])).unwrap();
+        assert!(serial.contains("cache hits"), "{serial}");
+        // Same decisions and final configuration line, whatever the
+        // fan-out. (Counters may split differently between replays and
+        // cache hits; compare everything below the counter line.)
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("decision log"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&serial), tail(&parallel));
     }
 
     #[test]

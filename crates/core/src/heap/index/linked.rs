@@ -25,13 +25,27 @@ struct Node {
 }
 
 /// Slab-backed intrusive list shared by both linked variants.
-#[derive(Debug, Clone, Default)]
+///
+/// The NextFit roving cursor lives here rather than in the index wrappers:
+/// only the slab knows when a slot is unlinked or reused, and both events
+/// must guard the cursor — an unlinked cursor advances to its successor,
+/// and a cursor that somehow still names a slot being handed out by
+/// [`LinkedSlab::push_front`] is invalidated instead of silently pointing
+/// at the unrelated node now occupying that slot.
+#[derive(Debug, Clone)]
 struct LinkedSlab {
     nodes: Vec<Node>,
     free_slots: Vec<usize>,
     by_offset: HashMap<usize, usize>,
     head: usize,
     len: usize,
+    cursor: usize,
+}
+
+impl Default for LinkedSlab {
+    fn default() -> Self {
+        LinkedSlab::new()
+    }
 }
 
 impl LinkedSlab {
@@ -42,6 +56,7 @@ impl LinkedSlab {
             by_offset: HashMap::new(),
             head: NIL,
             len: 0,
+            cursor: NIL,
         }
     }
 
@@ -53,6 +68,13 @@ impl LinkedSlab {
         };
         let slot = match self.free_slots.pop() {
             Some(s) => {
+                // Defence in depth: `unlink` already moves the cursor off
+                // any slot it frees, but if the cursor ever names a reused
+                // slot it would silently point at this unrelated node —
+                // invalidate instead.
+                if self.cursor == s {
+                    self.cursor = NIL;
+                }
                 self.nodes[s] = node;
                 s
             }
@@ -75,6 +97,9 @@ impl LinkedSlab {
             let n = &self.nodes[slot];
             (n.prev, n.next, n.span)
         };
+        if self.cursor == slot {
+            self.cursor = next;
+        }
         if prev != NIL {
             self.nodes[prev].next = next;
         } else {
@@ -113,6 +138,7 @@ impl LinkedSlab {
         self.by_offset.clear();
         self.head = NIL;
         self.len = 0;
+        self.cursor = NIL;
     }
 }
 
@@ -213,7 +239,6 @@ fn search(
 #[derive(Debug, Clone, Default)]
 pub struct SllIndex {
     slab: LinkedSlab,
-    cursor: usize,
 }
 
 impl SllIndex {
@@ -221,7 +246,6 @@ impl SllIndex {
     pub fn new() -> Self {
         SllIndex {
             slab: LinkedSlab::new(),
-            cursor: NIL,
         }
     }
 }
@@ -236,16 +260,13 @@ impl FreeIndex for SllIndex {
         let slot = *self.slab.by_offset.get(&offset)?;
         // A singly linked list must walk to the predecessor to unlink.
         *steps += self.slab.walk_distance(slot);
-        if self.cursor == slot {
-            self.cursor = self.slab.nodes[slot].next;
-        }
         Some(self.slab.unlink(slot))
     }
 
     fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
-        let slot = search(&self.slab, fit, len, self.cursor, steps)?;
+        let slot = search(&self.slab, fit, len, self.slab.cursor, steps)?;
         if fit == FitAlgorithm::NextFit {
-            self.cursor = self.slab.nodes[slot].next;
+            self.slab.cursor = self.slab.nodes[slot].next;
         }
         Some(self.slab.nodes[slot].span)
     }
@@ -260,7 +281,6 @@ impl FreeIndex for SllIndex {
 
     fn clear(&mut self) {
         self.slab.clear();
-        self.cursor = NIL;
     }
 
     fn control_overhead_bytes(&self) -> usize {
@@ -272,7 +292,6 @@ impl FreeIndex for SllIndex {
 #[derive(Debug, Clone, Default)]
 pub struct DllIndex {
     slab: LinkedSlab,
-    cursor: usize,
 }
 
 impl DllIndex {
@@ -280,7 +299,6 @@ impl DllIndex {
     pub fn new() -> Self {
         DllIndex {
             slab: LinkedSlab::new(),
-            cursor: NIL,
         }
     }
 }
@@ -294,16 +312,13 @@ impl FreeIndex for DllIndex {
     fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
         let slot = *self.slab.by_offset.get(&offset)?;
         *steps += 1; // O(1) unlink thanks to the back pointer
-        if self.cursor == slot {
-            self.cursor = self.slab.nodes[slot].next;
-        }
         Some(self.slab.unlink(slot))
     }
 
     fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
-        let slot = search(&self.slab, fit, len, self.cursor, steps)?;
+        let slot = search(&self.slab, fit, len, self.slab.cursor, steps)?;
         if fit == FitAlgorithm::NextFit {
-            self.cursor = self.slab.nodes[slot].next;
+            self.slab.cursor = self.slab.nodes[slot].next;
         }
         Some(self.slab.nodes[slot].span)
     }
@@ -318,7 +333,6 @@ impl FreeIndex for DllIndex {
 
     fn clear(&mut self) {
         self.slab.clear();
-        self.cursor = NIL;
     }
 
     fn control_overhead_bytes(&self) -> usize {
@@ -381,6 +395,46 @@ mod tests {
         assert_eq!(idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().offset, 32);
         // Only the 256 block fits 100; next fit must wrap to find it again.
         assert_eq!(idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().offset, 32);
+    }
+
+    #[test]
+    fn next_fit_cursor_survives_remove_then_reinsert() {
+        // Remove a node (freeing its slot), then reinsert a different span
+        // so push_front reuses that slot. The roving cursor must keep
+        // pointing at live nodes: every subsequent NextFit hit is a
+        // currently indexed span, and repeated searches cycle over all of
+        // them rather than chasing the recycled slot.
+        for mk in [
+            || Box::new(SllIndex::new()) as Box<dyn FreeIndex>,
+            || Box::new(DllIndex::new()) as Box<dyn FreeIndex>,
+        ] {
+            let mut idx = mk();
+            let mut s = 0u64;
+            for i in 0..4 {
+                idx.insert(Span::new(i * 64, 64), &mut s);
+            }
+            // Park the cursor mid-list.
+            let hit = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+            // Unlink a *different* node than the cursor's, then reuse its
+            // slot for a fresh span.
+            let victim = (hit.offset + 128) % 256;
+            idx.remove(victim, &mut s).unwrap();
+            idx.insert(Span::new(1024, 64), &mut s);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..16 {
+                let f = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+                assert!(
+                    idx.spans().contains(&f),
+                    "cursor produced a phantom span {f:?}"
+                );
+                seen.insert(f.offset);
+            }
+            assert_eq!(
+                seen.len(),
+                idx.len(),
+                "roving search must still visit every live span"
+            );
+        }
     }
 
     #[test]

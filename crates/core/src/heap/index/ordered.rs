@@ -167,7 +167,12 @@ impl FreeIndex for SizeTreeIndex {
         *steps += log_cost(self.by_size.len());
         let len = self.len_of.remove(&offset)?;
         self.by_size.remove(&(len, offset));
-        if self.cursor == Some((len, offset)) {
+        // `find` parks the NextFit cursor just *past* the block it
+        // returned, i.e. at `(len, offset + 1)` — compare against that
+        // stored form. Matching the block's own key `(len, offset)` can
+        // never fire, so the roving pointer used to survive its block's
+        // removal and skip blocks re-inserted at or below that key.
+        if self.cursor == Some((len, offset + 1)) {
             self.cursor = None;
         }
         Some(Span::new(offset, len))
@@ -302,6 +307,43 @@ mod tests {
         tree.find(FitAlgorithm::BestFit, 4096, &mut tree_steps).unwrap();
         assert!(addr_steps > 1000, "{addr_steps}");
         assert!(tree_steps < 16, "{tree_steps}");
+    }
+
+    #[test]
+    fn size_tree_next_fit_cursor_resets_when_its_block_is_removed() {
+        let mut idx = SizeTreeIndex::new();
+        let mut s = 0u64;
+        idx.insert(Span::new(0, 64), &mut s);
+        idx.insert(Span::new(100, 64), &mut s);
+        // NextFit lands on (64, 0) and parks the cursor at (64, 1).
+        let first = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        assert_eq!(first.offset, 0);
+        // The found block is taken (allocated), then returned (freed) —
+        // the remove must invalidate the cursor it derived from, or the
+        // roving pointer skips the re-inserted block forever.
+        idx.remove(0, &mut s).unwrap();
+        idx.insert(Span::new(0, 64), &mut s);
+        let second = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        assert_eq!(
+            second.offset, 0,
+            "stale cursor skipped the re-inserted block"
+        );
+    }
+
+    #[test]
+    fn size_tree_next_fit_cursor_survives_removal_of_other_blocks() {
+        let mut idx = SizeTreeIndex::new();
+        let mut s = 0u64;
+        for off in [0usize, 100, 200] {
+            idx.insert(Span::new(off, 64), &mut s);
+        }
+        let first = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        assert_eq!(first.offset, 0);
+        // Removing a block the cursor was *not* derived from keeps the
+        // roving behaviour: the next search continues past the last hit.
+        idx.remove(200, &mut s).unwrap();
+        let second = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        assert_eq!(second.offset, 100, "cursor must keep roving");
     }
 
     #[test]

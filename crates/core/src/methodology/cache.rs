@@ -1,0 +1,243 @@
+//! Replay memoisation for the exploration engine.
+//!
+//! The greedy traversal scores every candidate leaf by *completing* it into
+//! a full configuration and replaying the whole trace. Completions taken at
+//! different trees frequently collapse to the **same** full configuration
+//! (the winning completion at tree *k* reappears verbatim as the preferred
+//! default at tree *k+1*, and the portfolio probes of
+//! [`Methodology::explore`](crate::methodology::Methodology::explore)
+//! re-derive designs the primary traversal already paid for). Since
+//! [`replay`](crate::trace::replay) is a pure function of
+//! `(trace, configuration)`, those duplicate replays can be served from a
+//! cache — that is what [`ReplayCache`] does.
+//!
+//! Keys are structural: the twelve decided leaves plus the quantitative
+//! [`Params`] (the manager *name* is display-only and deliberately
+//! excluded), paired with a fingerprint of the trace so one cache can be
+//! shared across traces (e.g. across the per-phase sub-traces of
+//! [`explore_phases`](crate::methodology::Methodology::explore_phases), or
+//! across repeated designs in a bench harness).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use crate::metrics::FootprintStats;
+use crate::space::config::{DmConfig, Params};
+use crate::space::trees::{Leaf, TreeId};
+use crate::trace::Trace;
+
+/// Structural identity of a configuration: one leaf per tree plus the
+/// quantitative parameters. The name is excluded — two managers that differ
+/// only in their label replay identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfigKey {
+    leaves: [Leaf; 12],
+    params: Params,
+}
+
+impl ConfigKey {
+    /// The structural key of a configuration.
+    pub fn of(cfg: &DmConfig) -> Self {
+        let mut leaves = [Leaf::A1(cfg.block_structure); 12];
+        for (slot, tree) in leaves.iter_mut().zip(TreeId::ALL) {
+            *slot = cfg.leaf(tree);
+        }
+        ConfigKey {
+            leaves,
+            params: cfg.params.clone(),
+        }
+    }
+}
+
+/// Identity of a trace for cache partitioning: a 64-bit content hash plus
+/// the event count. Structural configuration keys make config collisions
+/// impossible; trace collisions would need two traces with equal length
+/// *and* equal content hash inside one engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    fingerprint: u64,
+    events: usize,
+}
+
+impl TraceKey {
+    /// Fingerprint a trace (hashes every event once, O(n)).
+    pub fn of(trace: &Trace) -> Self {
+        let mut h = DefaultHasher::new();
+        trace.hash(&mut h);
+        TraceKey {
+            fingerprint: h.finish(),
+            events: trace.len(),
+        }
+    }
+}
+
+/// A thread-safe memo table from `(trace, configuration)` to the replay's
+/// [`FootprintStats`].
+///
+/// # Examples
+///
+/// ```
+/// use dmm_core::methodology::cache::ReplayCache;
+/// use dmm_core::manager::PolicyAllocator;
+/// use dmm_core::space::presets;
+/// use dmm_core::trace::{replay, Trace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Trace::builder();
+/// let id = b.alloc(100);
+/// b.free(id);
+/// let trace = b.finish()?;
+///
+/// let cache = ReplayCache::new();
+/// let cfg = presets::drr_paper();
+/// assert!(cache.get(&trace, &cfg).is_none());
+/// let fs = replay(&trace, &mut PolicyAllocator::new(cfg.clone())?)?;
+/// cache.insert(&trace, &cfg, fs.clone());
+/// assert_eq!(cache.get(&trace, &cfg), Some(fs));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ReplayCache {
+    map: Mutex<HashMap<(TraceKey, ConfigKey), FootprintStats>>,
+}
+
+impl ReplayCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ReplayCache::default()
+    }
+
+    /// Cached replay statistics of `cfg` on `trace`, if present.
+    ///
+    /// The returned statistics carry the *cached* manager name; callers
+    /// that care about labels should restore their own (the engine does).
+    pub fn get(&self, trace: &Trace, cfg: &DmConfig) -> Option<FootprintStats> {
+        self.get_keyed(TraceKey::of(trace), cfg)
+    }
+
+    /// Like [`ReplayCache::get`] with a precomputed [`TraceKey`] (avoids
+    /// re-hashing the trace for every candidate of one tree).
+    pub fn get_keyed(&self, trace: TraceKey, cfg: &DmConfig) -> Option<FootprintStats> {
+        self.map
+            .lock()
+            .expect("replay cache poisoned")
+            .get(&(trace, ConfigKey::of(cfg)))
+            .cloned()
+    }
+
+    /// Record the replay statistics of `cfg` on `trace`.
+    pub fn insert(&self, trace: &Trace, cfg: &DmConfig, stats: FootprintStats) {
+        self.insert_keyed(TraceKey::of(trace), cfg, stats);
+    }
+
+    /// Like [`ReplayCache::insert`] with a precomputed [`TraceKey`].
+    pub fn insert_keyed(&self, trace: TraceKey, cfg: &DmConfig, stats: FootprintStats) {
+        self.map
+            .lock()
+            .expect("replay cache poisoned")
+            .insert((trace, ConfigKey::of(cfg)), stats);
+    }
+
+    /// Number of memoised replays.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("replay cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::PolicyAllocator;
+    use crate::space::presets;
+    use crate::trace::replay;
+
+    fn tiny_trace() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.alloc(100);
+        let c = b.alloc(50);
+        b.free(a);
+        b.free(c);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn name_is_excluded_from_the_key() {
+        let trace = tiny_trace();
+        let cache = ReplayCache::new();
+        let cfg = presets::drr_paper();
+        let fs = replay(&trace, &mut PolicyAllocator::new(cfg.clone()).unwrap()).unwrap();
+        cache.insert(&trace, &cfg, fs.clone());
+
+        let mut renamed = cfg.clone();
+        renamed.name = "same machinery, different label".into();
+        assert_eq!(
+            cache.get(&trace, &renamed),
+            Some(fs),
+            "a rename must not defeat memoisation"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_configs_and_traces_miss() {
+        let trace = tiny_trace();
+        let cache = ReplayCache::new();
+        let cfg = presets::drr_paper();
+        let fs = replay(&trace, &mut PolicyAllocator::new(cfg.clone()).unwrap()).unwrap();
+        cache.insert(&trace, &cfg, fs);
+
+        assert!(cache.get(&trace, &presets::kingsley_like()).is_none());
+        let mut reparam = presets::drr_paper();
+        reparam.params.trim_threshold = None;
+        assert!(
+            cache.get(&trace, &reparam).is_none(),
+            "params are part of the structural key"
+        );
+
+        let mut b = Trace::builder();
+        let a = b.alloc(101); // one byte different
+        b.free(a);
+        let other = b.finish().unwrap();
+        assert!(cache.get(&other, &presets::drr_paper()).is_none());
+    }
+
+    #[test]
+    fn config_key_round_trips_every_leaf() {
+        for cfg in presets::all() {
+            let key = ConfigKey::of(&cfg);
+            for (slot, tree) in key.leaves.iter().zip(TreeId::ALL) {
+                assert_eq!(*slot, cfg.leaf(tree), "{}: {tree}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_config_key_identity() {
+        // `DmConfig::fingerprint()` and `ConfigKey` are two views of the
+        // same structural identity (leaves + params, name excluded); keep
+        // them from drifting apart.
+        for a in presets::all() {
+            let mut renamed = a.clone();
+            renamed.name = format!("{} (renamed)", a.name);
+            assert_eq!(a.fingerprint(), renamed.fingerprint());
+            assert_eq!(ConfigKey::of(&a), ConfigKey::of(&renamed));
+            for b in presets::all() {
+                let same_key = ConfigKey::of(&a) == ConfigKey::of(&b);
+                let same_fp = a.fingerprint() == b.fingerprint();
+                assert_eq!(
+                    same_key, same_fp,
+                    "{} vs {}: key/fingerprint identity disagree",
+                    a.name, b.name
+                );
+            }
+        }
+    }
+}

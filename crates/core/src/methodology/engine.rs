@@ -1,0 +1,326 @@
+//! The exploration engine: memoised, optionally parallel candidate
+//! evaluation for the methodology.
+//!
+//! Every score the methodology needs is "replay this full configuration
+//! against this trace" — a pure function. The engine owns the
+//! [`ReplayCache`] that deduplicates those replays and the thread fan-out
+//! that runs distinct ones concurrently ([`std::thread::scope`]; no
+//! external dependencies). Results are returned **in input order**, so a
+//! caller that folds them sequentially gets bit-identical argmins and
+//! tie-breaks whether the engine ran with one job or many.
+//!
+//! One engine may serve many explorations — the cache key includes a trace
+//! fingerprint, so sharing an engine across portfolio probes, phases,
+//! objective sweeps or repeated designs only ever *adds* cache hits.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::Result;
+use crate::manager::PolicyAllocator;
+use crate::methodology::cache::{ReplayCache, TraceKey};
+use crate::metrics::FootprintStats;
+use crate::space::config::DmConfig;
+use crate::trace::{replay, Trace};
+
+/// Monotonic counters of one engine's work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Candidate evaluations requested (cache hits + replays).
+    pub evaluations: usize,
+    /// Full trace replays actually performed.
+    pub replays: usize,
+    /// Evaluations served from the replay cache.
+    pub cache_hits: usize,
+}
+
+impl std::fmt::Display for EngineCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} evaluations ({} replays, {} cache hits)",
+            self.evaluations, self.replays, self.cache_hits
+        )
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Replay statistics of the configuration on the trace.
+    pub stats: FootprintStats,
+    /// Whether the result came from the cache instead of a fresh replay.
+    pub cache_hit: bool,
+}
+
+/// Memoised, parallel evaluator shared by every exploration entry point.
+#[derive(Debug)]
+pub struct ExplorationEngine {
+    jobs: usize,
+    cache: ReplayCache,
+    evaluations: AtomicUsize,
+    replays: AtomicUsize,
+    cache_hits: AtomicUsize,
+    /// Worker threads currently spawned by [`ExplorationEngine::run_parallel`]
+    /// across all nesting levels — the shared budget that keeps
+    /// phases × hypotheses × candidates from multiplying thread counts.
+    spawned: AtomicUsize,
+}
+
+impl Default for ExplorationEngine {
+    fn default() -> Self {
+        ExplorationEngine::new(1)
+    }
+}
+
+impl ExplorationEngine {
+    /// An engine running `jobs` worker threads; `jobs == 0` resolves to
+    /// the machine's available parallelism, `jobs == 1` is strictly
+    /// serial. Results are bit-identical either way.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        ExplorationEngine {
+            jobs,
+            cache: ReplayCache::new(),
+            evaluations: AtomicUsize::new(0),
+            replays: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            spawned: AtomicUsize::new(0),
+        }
+    }
+
+    /// A strictly serial engine.
+    pub fn serial() -> Self {
+        ExplorationEngine::new(1)
+    }
+
+    /// The resolved worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Snapshot of the engine's lifetime counters.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The engine's replay cache (for diagnostics/tests).
+    pub fn cache(&self) -> &ReplayCache {
+        &self.cache
+    }
+
+    /// Evaluate every configuration against `trace`, memoised and fanned
+    /// out over the engine's jobs. The result vector is **in input
+    /// order**; on failure the error of the earliest failing input is
+    /// returned, exactly as a serial loop would surface it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager construction and replay failures.
+    pub fn evaluate_all(&self, trace: &Trace, cfgs: &[DmConfig]) -> Result<Vec<Evaluation>> {
+        self.evaluate_all_keyed(trace, TraceKey::of(trace), cfgs)
+    }
+
+    /// Like [`ExplorationEngine::evaluate_all`] with a precomputed
+    /// [`TraceKey`], so a caller evaluating many candidate sets against
+    /// one trace (the greedy traversal does, once per tree) hashes the
+    /// trace once instead of per call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager construction and replay failures.
+    pub fn evaluate_all_keyed(
+        &self,
+        trace: &Trace,
+        key: TraceKey,
+        cfgs: &[DmConfig],
+    ) -> Result<Vec<Evaluation>> {
+        let results = self.run_parallel(cfgs, |cfg| self.evaluate_one(trace, key, cfg));
+        results.into_iter().collect()
+    }
+
+    fn evaluate_one(&self, trace: &Trace, key: TraceKey, cfg: &DmConfig) -> Result<Evaluation> {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        if let Some(mut stats) = self.cache.get_keyed(key, cfg) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            // The cache key ignores names; restore this candidate's label
+            // so hit and miss paths are indistinguishable to the caller.
+            stats.manager = cfg.name.clone();
+            return Ok(Evaluation {
+                stats,
+                cache_hit: true,
+            });
+        }
+        let mut mgr = PolicyAllocator::new(cfg.clone())?;
+        let stats = replay(trace, &mut mgr)?;
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert_keyed(key, cfg, stats.clone());
+        Ok(Evaluation {
+            stats,
+            cache_hit: false,
+        })
+    }
+
+    /// Apply `f` to every item, fanning out over scoped worker threads,
+    /// and return the results in input order. With one job (or one item)
+    /// this is a plain serial map — no threads, no locks.
+    ///
+    /// Fan-outs nest (phases → portfolio hypotheses → per-tree
+    /// candidates), so all levels draw on one engine-wide budget of
+    /// [`ExplorationEngine::jobs`] spawned threads: an inner call made
+    /// from a worker only spawns what the outer levels left over, and
+    /// degrades to the serial map when nothing is left. The calling
+    /// thread always works through items itself, so progress never waits
+    /// on budget.
+    pub fn run_parallel<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let available = self
+            .jobs
+            .saturating_sub(1)
+            .saturating_sub(self.spawned.load(Ordering::Relaxed));
+        let extra = available.min(items.len().saturating_sub(1));
+        if extra == 0 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = items.get(i) else { break };
+            let r = f(item);
+            *slots[i].lock().expect("result slot poisoned") = Some(r);
+        };
+        self.spawned.fetch_add(extra, Ordering::Relaxed);
+        std::thread::scope(|scope| {
+            for _ in 0..extra {
+                scope.spawn(work);
+            }
+            work();
+        });
+        self.spawned.fetch_sub(extra, Ordering::Relaxed);
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled by a worker")
+            })
+            .collect()
+    }
+}
+
+// The fan-out moves managers and traces across scoped threads; keep the
+// bounds explicit so a future field (e.g. an Rc-backed index) fails here,
+// at the declaration, instead of deep inside a thread spawn.
+fn _assert_engine_bounds() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    send::<PolicyAllocator>();
+    send::<Trace>();
+    sync::<Trace>();
+    send::<DmConfig>();
+    sync::<ExplorationEngine>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::presets;
+
+    fn trace() -> Trace {
+        let mut b = Trace::builder();
+        let mut live = Vec::new();
+        let mut x: u64 = 17;
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if live.is_empty() || !x.is_multiple_of(3) {
+                live.push(b.alloc(16 + (x % 900) as usize));
+            } else {
+                let i = (x as usize / 5) % live.len();
+                b.free(live.swap_remove(i));
+            }
+        }
+        for id in live {
+            b.free(id);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn duplicate_configs_hit_the_cache() {
+        let t = trace();
+        let engine = ExplorationEngine::serial();
+        let cfg = presets::drr_paper();
+        let cfgs = vec![cfg.clone(), presets::lea_like(), cfg.clone()];
+        let evals = engine.evaluate_all(&t, &cfgs).unwrap();
+        assert!(!evals[0].cache_hit && !evals[1].cache_hit);
+        assert!(evals[2].cache_hit, "third config duplicates the first");
+        assert_eq!(evals[0].stats, evals[2].stats);
+        let c = engine.counters();
+        assert_eq!(c.evaluations, 3);
+        assert_eq!(c.replays, 2);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(engine.cache().len(), 2);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_order() {
+        let t = trace();
+        let cfgs: Vec<DmConfig> = presets::all();
+        let serial = ExplorationEngine::serial().evaluate_all(&t, &cfgs).unwrap();
+        let parallel = ExplorationEngine::new(4).evaluate_all(&t, &cfgs).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.stats, p.stats);
+        }
+    }
+
+    #[test]
+    fn errors_surface_in_input_order() {
+        let t = trace();
+        // Two distinguishable OOM failures: the earliest one must win, just
+        // as a serial loop would have stopped there.
+        let mut bad_early = presets::drr_paper();
+        bad_early.params.arena_limit = Some(64);
+        let mut bad_late = presets::drr_paper();
+        bad_late.params.arena_limit = Some(96);
+        let cfgs = vec![presets::lea_like(), bad_early, bad_late];
+        let err = ExplorationEngine::new(4)
+            .evaluate_all(&t, &cfgs)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::error::Error::OutOfMemory { limit: 64, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_parallelism() {
+        assert!(ExplorationEngine::new(0).jobs() >= 1);
+        assert_eq!(ExplorationEngine::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let engine = ExplorationEngine::new(8);
+        let items: Vec<usize> = (0..100).collect();
+        let out = engine.run_parallel(&items, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

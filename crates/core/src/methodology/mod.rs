@@ -16,6 +16,17 @@
 //!   memory space would be to choose the None leaf") and the propagated
 //!   constraints then lock fragmentation handling out. Used by the order
 //!   ablation experiment.
+//!
+//! All candidate scoring flows through the [`engine::ExplorationEngine`]:
+//! a replay cache deduplicates candidate completions that collapse to the
+//! same full configuration, and [`Methodology::with_jobs`] fans distinct
+//! replays out over scoped threads — with results guaranteed bit-identical
+//! to a serial run.
+
+pub mod cache;
+pub mod engine;
+
+pub use engine::{EngineCounters, Evaluation, ExplorationEngine};
 
 use serde::{Deserialize, Serialize};
 
@@ -75,8 +86,13 @@ pub struct ExplorationOutcome {
     pub footprint: FootprintStats,
     /// Per-tree decision log, in traversal order.
     pub decisions: Vec<DecisionRecord>,
-    /// Total number of trace replays spent.
+    /// Total number of candidate evaluations spent
+    /// (`replays + cache_hits`).
     pub evaluations: usize,
+    /// Evaluations that required a fresh trace replay.
+    pub replays: usize,
+    /// Evaluations served from the engine's [`cache::ReplayCache`].
+    pub cache_hits: usize,
     /// The profile that seeded the parameters.
     pub profile: Profile,
 }
@@ -90,6 +106,19 @@ pub struct PhasedOutcome {
     pub footprint: FootprintStats,
     /// Per-phase exploration outcomes.
     pub per_phase: Vec<(u32, ExplorationOutcome)>,
+}
+
+impl PhasedOutcome {
+    /// Evaluation counters summed over every phase's exploration.
+    pub fn counters(&self) -> EngineCounters {
+        let mut c = EngineCounters::default();
+        for (_, o) in &self.per_phase {
+            c.evaluations += o.evaluations;
+            c.replays += o.replays;
+            c.cache_hits += o.cache_hits;
+        }
+        c
+    }
 }
 
 /// What the per-tree argmin optimises.
@@ -139,6 +168,7 @@ pub struct Methodology {
     max_classes: usize,
     name: String,
     portfolio: bool,
+    jobs: usize,
 }
 
 impl Default for Methodology {
@@ -158,7 +188,21 @@ impl Methodology {
             max_classes: 8,
             name: "custom (methodology)".into(),
             portfolio: true,
+            jobs: 1,
         }
+    }
+
+    /// Number of worker threads candidate evaluation may fan out over
+    /// (default 1 = serial; 0 = the machine's available parallelism).
+    ///
+    /// Parallel exploration is **bit-identical** to serial: candidates are
+    /// scored in input order and every replay is deterministic, so the
+    /// argmin, its tie-breaks and the decision log do not depend on `n`.
+    /// Only the cache-hit/replay split of the counters may differ, because
+    /// concurrent workers can both miss on the same configuration.
+    pub fn with_jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self
     }
 
     /// Enable or disable the probe portfolio of [`Methodology::explore`]
@@ -253,31 +297,61 @@ impl Methodology {
     /// Returns an error if the trace is empty or a candidate manager fails
     /// (e.g. an arena limit in `params`).
     pub fn explore(&self, trace: &Trace) -> Result<ExplorationOutcome> {
-        let mut primary = self.explore_with_style(trace, self.style)?;
+        self.explore_with_engine(trace, &ExplorationEngine::new(self.jobs))
+    }
+
+    /// Like [`Methodology::explore`], but evaluating through a
+    /// caller-provided [`ExplorationEngine`].
+    ///
+    /// Sharing one engine across related explorations (objective sweeps,
+    /// repeated designs on the same trace, bench harnesses) lets its
+    /// replay cache deduplicate configurations the separate runs would
+    /// otherwise re-replay. The engine's job count — not this
+    /// methodology's [`Methodology::with_jobs`] — governs the fan-out.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Methodology::explore`].
+    pub fn explore_with_engine(
+        &self,
+        trace: &Trace,
+        engine: &ExplorationEngine,
+    ) -> Result<ExplorationOutcome> {
         if !self.portfolio || self.style != CompletionStyle::Simulated {
-            return Ok(primary);
+            return self.explore_with_style(trace, self.style, engine);
         }
-        let minimal = self.explore_with_style(trace, CompletionStyle::Myopic)?;
-        // The tag-first probe duplicates `minimal` when this methodology
-        // already traverses tag-first; don't pay for the same hypothesis
-        // twice.
-        let tag_first = if self.order == crate::space::order::A3_FIRST_ORDER {
-            None
-        } else {
-            Some(
+        // The portfolio's hypotheses are independent explorations over the
+        // same trace: fan them out, first entry is the primary.
+        let mut hypotheses: Vec<(Methodology, CompletionStyle)> = vec![
+            (self.clone(), self.style),
+            (self.clone(), CompletionStyle::Myopic),
+        ];
+        // The tag-first probe duplicates the minimal one when this
+        // methodology already traverses tag-first; don't pay for the same
+        // hypothesis twice.
+        if self.order != crate::space::order::A3_FIRST_ORDER {
+            hypotheses.push((
                 self.clone()
-                    .with_order(&crate::space::order::A3_FIRST_ORDER[..])
-                    .explore_with_style(trace, CompletionStyle::Myopic)?,
-            )
-        };
+                    .with_order(&crate::space::order::A3_FIRST_ORDER[..]),
+                CompletionStyle::Myopic,
+            ));
+        }
+        let outcomes = engine.run_parallel(&hypotheses, |(m, style)| {
+            m.explore_with_style(trace, *style, engine)
+        });
+        let mut outcomes = outcomes.into_iter();
+        let mut primary = outcomes.next().expect("primary hypothesis present")?;
         // Score on the replayed statistics alone; the winner keeps
         // `primary`'s decision log, so the log always documents the
         // methodology's own traversal.
         let key = |o: &ExplorationOutcome| {
             (o.footprint.peak_footprint, o.footprint.stats.search_steps)
         };
-        for probe in [Some(minimal), tag_first].into_iter().flatten() {
+        for probe in outcomes {
+            let probe = probe?;
             primary.evaluations += probe.evaluations;
+            primary.replays += probe.replays;
+            primary.cache_hits += probe.cache_hits;
             if self.objective.cmp_raw(key(&probe), key(&primary)).is_lt() {
                 primary.config = probe.config;
                 primary.footprint = probe.footprint;
@@ -286,7 +360,12 @@ impl Methodology {
         Ok(primary)
     }
 
-    fn explore_with_style(&self, trace: &Trace, style: CompletionStyle) -> Result<ExplorationOutcome> {
+    fn explore_with_style(
+        &self,
+        trace: &Trace,
+        style: CompletionStyle,
+        engine: &ExplorationEngine,
+    ) -> Result<ExplorationOutcome> {
         if trace.is_empty() {
             return Err(Error::EmptySearchSpace("cannot explore an empty trace".into()));
         }
@@ -295,6 +374,10 @@ impl Methodology {
         let mut partial = PartialConfig::default();
         let mut decisions = Vec::with_capacity(self.order.len());
         let mut evaluations = 0usize;
+        let mut replays = 0usize;
+        let mut cache_hits = 0usize;
+        // Hash the trace once per traversal, not once per tree.
+        let trace_key = cache::TraceKey::of(trace);
         // Every candidate is scored by completing it into a full runnable
         // configuration, so the search has already paid for its replay;
         // keep the best completion seen as an incumbent. The final greedy
@@ -312,14 +395,29 @@ impl Methodology {
                     tree.code()
                 )));
             }
-            let mut evals = Vec::with_capacity(candidates.len());
-            for leaf in candidates {
+            // Complete every candidate into a full configuration (cheap,
+            // serial), then let the engine score them — memoised and
+            // fanned out — before folding the results back in input order
+            // so argmin and tie-breaks match the serial traversal bit for
+            // bit.
+            let mut completions = Vec::with_capacity(candidates.len());
+            for &leaf in &candidates {
                 let mut trial = partial.clone();
                 trial.set(leaf);
-                let cfg = self.complete(&trial, &params, style)?;
-                let mut mgr = PolicyAllocator::new(cfg.clone())?;
-                let fs = replay(trace, &mut mgr)?;
+                completions.push(self.complete(&trial, &params, style)?);
+            }
+            let scored = engine.evaluate_all_keyed(trace, trace_key, &completions)?;
+            let mut evals = Vec::with_capacity(candidates.len());
+            for ((leaf, cfg), outcome) in
+                candidates.into_iter().zip(completions).zip(scored)
+            {
                 evaluations += 1;
+                if outcome.cache_hit {
+                    cache_hits += 1;
+                } else {
+                    replays += 1;
+                }
+                let fs = outcome.stats;
                 let eval = CandidateEval {
                     leaf,
                     peak_footprint: fs.peak_footprint,
@@ -377,6 +475,8 @@ impl Methodology {
             footprint,
             decisions,
             evaluations,
+            replays,
+            cache_hits,
             profile,
         })
     }
@@ -388,17 +488,35 @@ impl Methodology {
     ///
     /// As for [`Methodology::explore`].
     pub fn explore_phases(&self, trace: &Trace) -> Result<PhasedOutcome> {
+        self.explore_phases_with_engine(trace, &ExplorationEngine::new(self.jobs))
+    }
+
+    /// Like [`Methodology::explore_phases`], evaluating through a
+    /// caller-provided [`ExplorationEngine`] (see
+    /// [`Methodology::explore_with_engine`]). The phase explorations
+    /// themselves fan out over the engine's jobs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Methodology::explore`].
+    pub fn explore_phases_with_engine(
+        &self,
+        trace: &Trace,
+        engine: &ExplorationEngine,
+    ) -> Result<PhasedOutcome> {
         let parts = trace.split_phases();
         if parts.is_empty() {
             return Err(Error::EmptySearchSpace("trace has no events".into()));
         }
+        let outcomes = engine.run_parallel(&parts, |(phase, sub)| {
+            self.clone()
+                .with_name(format!("{} [phase {phase}]", self.name))
+                .explore_with_engine(sub, engine)
+        });
         let mut per_phase = Vec::with_capacity(parts.len());
         let mut phase_configs = Vec::with_capacity(parts.len());
-        for (phase, sub) in &parts {
-            let outcome = self
-                .clone()
-                .with_name(format!("{} [phase {phase}]", self.name))
-                .explore(sub)?;
+        for ((phase, _), outcome) in parts.iter().zip(outcomes) {
+            let outcome = outcome?;
             phase_configs.push((*phase, outcome.config.clone()));
             per_phase.push((*phase, outcome));
         }
@@ -491,6 +609,22 @@ pub struct TradeoffPoint {
 ///
 /// Propagates exploration failures.
 pub fn tradeoff_curve(trace: &Trace, step_weights: &[f64]) -> Result<Vec<TradeoffPoint>> {
+    tradeoff_curve_with(trace, step_weights, &ExplorationEngine::serial())
+}
+
+/// Like [`tradeoff_curve`], evaluating through a caller-provided
+/// [`ExplorationEngine`]. The sweep points all replay the same trace, so
+/// the shared cache deduplicates every configuration that more than one
+/// weight re-derives.
+///
+/// # Errors
+///
+/// Propagates exploration failures.
+pub fn tradeoff_curve_with(
+    trace: &Trace,
+    step_weights: &[f64],
+    engine: &ExplorationEngine,
+) -> Result<Vec<TradeoffPoint>> {
     let mut points = Vec::with_capacity(step_weights.len());
     for &w in step_weights {
         let outcome = Methodology::new()
@@ -500,7 +634,7 @@ pub fn tradeoff_curve(trace: &Trace, step_weights: &[f64]) -> Result<Vec<Tradeof
                 Objective::Weighted { step_weight: w }
             })
             .with_name(format!("custom (step weight {w})"))
-            .explore(trace)?;
+            .explore_with_engine(trace, engine)?;
         points.push(TradeoffPoint {
             step_weight: w,
             config: outcome.config,
@@ -564,6 +698,34 @@ mod tests {
             } else {
                 let idx = (x as usize / 11) % live.len();
                 b.free(live.swap_remove(idx));
+            }
+        }
+        for id in live {
+            b.free(id);
+        }
+        b.finish().unwrap()
+    }
+
+    /// Two-phase trace: uniform stack-like phase 0, fragmenting phase 1.
+    fn phased_trace() -> Trace {
+        let mut b = Trace::builder();
+        b.phase(0);
+        let ids: Vec<u64> = (0..64).map(|_| b.alloc(64)).collect();
+        for id in ids.into_iter().rev() {
+            b.free(id);
+        }
+        b.phase(1);
+        let mut x: u64 = 7;
+        let mut live = Vec::new();
+        for _ in 0..128 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if live.is_empty() || !x.is_multiple_of(3) {
+                live.push(b.alloc(256 + (x % 2048) as usize));
+            } else {
+                let i = (x as usize) % live.len();
+                b.free(live.swap_remove(i));
             }
         }
         for id in live {
@@ -659,38 +821,84 @@ mod tests {
 
     #[test]
     fn phased_exploration_composes_a_global_manager() {
-        let mut b = Trace::builder();
-        b.phase(0);
-        // Phase 0: uniform small blocks, stack-like.
-        let ids: Vec<u64> = (0..64).map(|_| b.alloc(64)).collect();
-        for id in ids.into_iter().rev() {
-            b.free(id);
-        }
-        b.phase(1);
-        // Phase 1: large variable blocks, random order.
-        let mut x: u64 = 7;
-        let mut live = Vec::new();
-        for _ in 0..128 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            if live.is_empty() || !x.is_multiple_of(3) {
-                live.push(b.alloc(256 + (x % 2048) as usize));
-            } else {
-                let i = (x as usize) % live.len();
-                b.free(live.swap_remove(i));
-            }
-        }
-        for id in live {
-            b.free(id);
-        }
-        let t = b.finish().unwrap();
-
+        let t = phased_trace();
         let phased = Methodology::new().explore_phases(&t).unwrap();
         assert_eq!(phased.phase_configs.len(), 2);
         assert_eq!(phased.per_phase.len(), 2);
         // The composition serves the full trace.
         assert_eq!(phased.footprint.stats.allocs as usize, t.alloc_count());
+    }
+
+    #[test]
+    fn parallel_exploration_is_bit_identical_to_serial() {
+        let t = fragmenting_trace();
+        let serial = Methodology::new().explore(&t).unwrap();
+        let parallel = Methodology::new().with_jobs(4).explore(&t).unwrap();
+        assert_eq!(serial.config.summary(), parallel.config.summary());
+        assert_eq!(
+            serial.footprint.peak_footprint,
+            parallel.footprint.peak_footprint
+        );
+        assert_eq!(serial.footprint, parallel.footprint);
+        assert_eq!(serial.decisions, parallel.decisions);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn parallel_phased_exploration_is_bit_identical_to_serial() {
+        let t = phased_trace();
+        let serial = Methodology::new().explore_phases(&t).unwrap();
+        let parallel = Methodology::new().with_jobs(4).explore_phases(&t).unwrap();
+        assert_eq!(serial.phase_configs.len(), parallel.phase_configs.len());
+        for ((sp, sc), (pp, pc)) in serial.phase_configs.iter().zip(&parallel.phase_configs) {
+            assert_eq!(sp, pp);
+            assert_eq!(sc.summary(), pc.summary());
+        }
+        assert_eq!(
+            serial.footprint.peak_footprint,
+            parallel.footprint.peak_footprint
+        );
+        for ((_, so), (_, po)) in serial.per_phase.iter().zip(&parallel.per_phase) {
+            assert_eq!(so.decisions, po.decisions);
+        }
+        // The aggregated counters partition identically: every evaluation
+        // is either a replay or a cache hit, and the total is job-count
+        // independent.
+        let (sc, pc) = (serial.counters(), parallel.counters());
+        assert_eq!(sc.evaluations, pc.evaluations);
+        assert_eq!(sc.replays + sc.cache_hits, sc.evaluations);
+        assert_eq!(pc.replays + pc.cache_hits, pc.evaluations);
+    }
+
+    #[test]
+    fn portfolio_run_reports_cache_hits() {
+        let t = fragmenting_trace();
+        let outcome = Methodology::new().explore(&t).unwrap();
+        assert_eq!(
+            outcome.replays + outcome.cache_hits,
+            outcome.evaluations,
+            "counters must partition the evaluations"
+        );
+        assert!(
+            outcome.cache_hits > 0,
+            "duplicate completions must hit the cache"
+        );
+        assert!(
+            outcome.replays < outcome.evaluations,
+            "fewer unique replays than total evaluations"
+        );
+    }
+
+    #[test]
+    fn shared_engine_deduplicates_repeated_designs() {
+        let t = fragmenting_trace();
+        let engine = ExplorationEngine::serial();
+        let first = Methodology::new().explore_with_engine(&t, &engine).unwrap();
+        let second = Methodology::new().explore_with_engine(&t, &engine).unwrap();
+        assert_eq!(first.config.summary(), second.config.summary());
+        assert_eq!(first.footprint, second.footprint);
+        assert_eq!(second.replays, 0, "a repeated design is fully cached");
+        assert_eq!(second.cache_hits, second.evaluations);
     }
 
     #[test]

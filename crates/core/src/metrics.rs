@@ -62,6 +62,13 @@ impl AllocStats {
     }
 
     /// Record an in-place resize (does not count as an alloc or a free).
+    ///
+    /// The accounting saturates rather than underflowing: on a drifted
+    /// trace (an `old_req`/`old_len` larger than the live totals, e.g. a
+    /// replay driven by a recorder that missed events) the counters clamp
+    /// at zero instead of wrapping to `usize::MAX` — which would poison
+    /// every subsequent peak. Debug builds still assert the invariant so
+    /// internal bookkeeping bugs cannot hide behind the clamp.
     pub fn on_resize(
         &mut self,
         old_req: usize,
@@ -69,8 +76,18 @@ impl AllocStats {
         old_len: usize,
         new_len: usize,
     ) {
-        self.live_requested = self.live_requested - old_req + new_req;
-        self.live_block = self.live_block - old_len + new_len;
+        debug_assert!(
+            old_req <= self.live_requested,
+            "resize of {old_req} requested bytes but only {} live",
+            self.live_requested
+        );
+        debug_assert!(
+            old_len <= self.live_block,
+            "resize of a {old_len}-byte block but only {} live",
+            self.live_block
+        );
+        self.live_requested = self.live_requested.saturating_sub(old_req) + new_req;
+        self.live_block = self.live_block.saturating_sub(old_len) + new_len;
         self.peak_requested = self.peak_requested.max(self.live_requested);
     }
 
@@ -112,8 +129,18 @@ impl AllocStats {
     }
 
     /// Live-count of allocations (allocs − frees).
+    ///
+    /// Saturates at zero on drifted traces where frees outnumber allocs
+    /// (debug builds assert the invariant instead of panicking on the
+    /// subtraction itself).
     pub fn live_count(&self) -> u64 {
-        self.allocs - self.frees
+        debug_assert!(
+            self.frees <= self.allocs,
+            "{} frees recorded against {} allocs",
+            self.frees,
+            self.allocs
+        );
+        self.allocs.saturating_sub(self.frees)
     }
 }
 
@@ -224,6 +251,65 @@ mod tests {
         assert_eq!(s.live_block, 0);
         assert_eq!(s.peak_requested, 150);
         assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn resize_accounting_balances() {
+        let mut s = AllocStats::default();
+        s.on_alloc(100, 112);
+        s.on_resize(100, 150, 112, 160);
+        assert_eq!(s.live_requested, 150);
+        assert_eq!(s.live_block, 160);
+        assert_eq!(s.peak_requested, 150);
+        s.on_resize(150, 20, 160, 32);
+        assert_eq!(s.live_requested, 20);
+        assert_eq!(s.live_block, 32);
+        assert_eq!(s.peak_requested, 150, "shrink must not lower the peak");
+    }
+
+    // Drifted-trace behaviour differs by profile: debug builds assert the
+    // invariant, release builds clamp at zero instead of wrapping.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "resize of 500 requested bytes")]
+    fn resize_drift_asserts_in_debug() {
+        let mut s = AllocStats::default();
+        s.on_alloc(100, 112);
+        s.on_resize(500, 50, 112, 64);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn resize_drift_saturates_in_release() {
+        let mut s = AllocStats::default();
+        s.on_alloc(100, 112);
+        s.on_resize(500, 50, 600, 64);
+        assert_eq!(s.live_requested, 50, "clamped, not wrapped");
+        assert_eq!(s.live_block, 64);
+        assert!(s.peak_requested < usize::MAX / 2, "no wrap-around peak");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "frees recorded against")]
+    fn live_count_drift_asserts_in_debug() {
+        let s = AllocStats {
+            allocs: 1,
+            frees: 3,
+            ..AllocStats::default()
+        };
+        let _ = s.live_count();
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn live_count_drift_saturates_in_release() {
+        let s = AllocStats {
+            allocs: 1,
+            frees: 3,
+            ..AllocStats::default()
+        };
+        assert_eq!(s.live_count(), 0, "clamped, not wrapped");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::units::{MIN_BLOCK, SBRK_GRANULARITY};
 /// The tree taxonomy is qualitative; the paper fixes these values "via
 /// simulation" once the leaves are chosen (end of Section 5's DRR
 /// walk-through). [`crate::methodology`] fills them from the profile.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Params {
     /// Size classes used when A2 = `ProfiledClasses` (bytes, ascending).
     pub profiled_classes: Vec<usize>,
@@ -76,7 +76,7 @@ impl Default for Params {
 /// assert!(cfg.validate().is_ok());
 /// assert_eq!(cfg.tag_bytes_per_block(), 4); // header with packed size+status
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DmConfig {
     /// Human-readable name (shows up in tables and reports).
     pub name: String,
@@ -235,6 +235,22 @@ impl DmConfig {
     /// Whether the policy may coalesce free blocks.
     pub fn may_coalesce(&self) -> bool {
         self.flexible_size.allows_coalesce() && self.coalesce_when != CoalesceWhen::Never
+    }
+
+    /// A 64-bit structural fingerprint of the configuration: the twelve
+    /// decided leaves plus the quantitative parameters. The display name
+    /// is **excluded** — two managers that differ only in their label
+    /// behave identically and fingerprint identically. Used by the
+    /// exploration engine's replay cache to identify duplicate candidate
+    /// completions.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for tree in TreeId::ALL {
+            self.leaf(tree).hash(&mut h);
+        }
+        self.params.hash(&mut h);
+        h.finish()
     }
 
     /// One-line summary of the twelve decisions, in traversal order.

@@ -19,7 +19,7 @@ use crate::manager::{Allocator, BlockHandle};
 use crate::metrics::{FootprintStats, SeriesPoint, TimeSeries};
 
 /// One event of an allocation trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// The application requested `size` bytes; the object is named `id`.
     Alloc {
@@ -44,7 +44,7 @@ pub enum TraceEvent {
 ///
 /// Construct with [`Trace::builder`] or by recording a workload through
 /// [`RecordingAllocator`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }

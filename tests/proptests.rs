@@ -186,4 +186,54 @@ proptest! {
             .expect("candidates exist");
         prop_assert!(outcome.footprint.peak_footprint <= worst);
     }
+
+    /// Parallel, cache-backed exploration is bit-identical to serial on
+    /// random traces: same designed configuration, same replayed peak,
+    /// same per-tree decision log (argmin and tie-breaks included). The
+    /// evaluation total also agrees; only the replay/cache-hit split may
+    /// differ under concurrency.
+    #[test]
+    fn parallel_exploration_matches_serial(trace in trace_strategy(80, 2048)) {
+        let serial = Methodology::new().explore(&trace).expect("explore");
+        let parallel = Methodology::new()
+            .with_jobs(4)
+            .explore(&trace)
+            .expect("explore");
+        prop_assert_eq!(serial.config.summary(), parallel.config.summary());
+        prop_assert_eq!(
+            serial.footprint.peak_footprint,
+            parallel.footprint.peak_footprint
+        );
+        prop_assert_eq!(&serial.decisions, &parallel.decisions);
+        prop_assert_eq!(serial.evaluations, parallel.evaluations);
+        prop_assert_eq!(
+            serial.replays + serial.cache_hits,
+            parallel.replays + parallel.cache_hits
+        );
+    }
+
+    /// Same identity for the phased explorer: per-phase configurations and
+    /// the composed global manager's footprint must not depend on the job
+    /// count.
+    #[test]
+    fn parallel_phased_exploration_matches_serial(trace in trace_strategy(60, 1024)) {
+        let serial = Methodology::new().explore_phases(&trace).expect("phases");
+        let parallel = Methodology::new()
+            .with_jobs(4)
+            .explore_phases(&trace)
+            .expect("phases");
+        prop_assert_eq!(serial.phase_configs.len(), parallel.phase_configs.len());
+        for ((sp, sc), (pp, pc)) in serial
+            .phase_configs
+            .iter()
+            .zip(&parallel.phase_configs)
+        {
+            prop_assert_eq!(sp, pp);
+            prop_assert_eq!(sc.summary(), pc.summary());
+        }
+        prop_assert_eq!(
+            serial.footprint.peak_footprint,
+            parallel.footprint.peak_footprint
+        );
+    }
 }
