@@ -45,6 +45,9 @@ pub struct Invocation {
     pub seed: u64,
     /// `--jobs=N` option: exploration worker threads (0 = all cores).
     pub jobs: usize,
+    /// `--shards=N` option: split the trace into N shards and explore
+    /// per shard, merging the designs (1 = whole-trace exploration).
+    pub shards: usize,
 }
 
 impl Invocation {
@@ -55,6 +58,7 @@ impl Invocation {
         let mut full = false;
         let mut seed = 0u64;
         let mut jobs = 0usize;
+        let mut shards = 1usize;
         let mut seen_command = false;
         for a in args {
             if a == "--full" {
@@ -65,6 +69,9 @@ impl Invocation {
                 // A malformed value falls back to serial (1), not to all
                 // cores (0) — the opposite extreme of a likely typo.
                 jobs = s.parse().unwrap_or(1);
+            } else if let Some(s) = a.strip_prefix("--shards=") {
+                // Malformed or zero means unsharded.
+                shards = s.parse().unwrap_or(1).max(1);
             } else if !seen_command {
                 command = a.clone();
                 seen_command = true;
@@ -78,6 +85,7 @@ impl Invocation {
             full,
             seed,
             jobs,
+            shards,
         }
     }
 }
@@ -104,7 +112,7 @@ fn workload(inv: &Invocation) -> Result<Box<dyn Workload>> {
 pub fn help_text() -> String {
     "dmm — custom dynamic-memory-manager design methodology (DATE 2004)\n\
      \n\
-     USAGE: dmm <command> [workload] [--full] [--seed=N] [--jobs=N]\n\
+     USAGE: dmm <command> [workload] [--full] [--seed=N] [--jobs=N] [--shards=N]\n\
      \n\
      COMMANDS:\n\
        space              print the DM-management decision trees (Figure 1)\n\
@@ -118,7 +126,11 @@ pub fn help_text() -> String {
      WORKLOADS: drr | recon | render  (test scale; add --full for paper scale)\n\
      \n\
      --jobs=N fans exploration replays out over N threads (0 = all cores;\n\
-     results are bit-identical to a serial run)\n"
+     results are bit-identical to a serial run)\n\
+     --shards=N splits the trace into N self-contained shards, explores\n\
+     each independently and merges the designs by score-weighted vote\n\
+     (phase-aligned when the trace has phases; memory is bounded by the\n\
+     largest shard instead of the whole trace)\n"
         .to_string()
 }
 
@@ -204,6 +216,9 @@ pub fn profile_text(inv: &Invocation) -> Result<String> {
 ///
 /// Propagates workload/exploration failures.
 pub fn explore_text(inv: &Invocation) -> Result<String> {
+    if inv.shards > 1 {
+        return explore_sharded_text(inv);
+    }
     let w = workload(inv)?;
     let trace = w.record()?;
     let outcome = Methodology::new().with_jobs(inv.jobs).explore(&trace)?;
@@ -252,6 +267,74 @@ pub fn explore_text(inv: &Invocation) -> Result<String> {
     Ok(out)
 }
 
+/// `dmm explore <workload> --shards=N`: sharded exploration with the
+/// merge-decision log.
+///
+/// # Errors
+///
+/// Propagates workload/exploration failures.
+fn explore_sharded_text(inv: &Invocation) -> Result<String> {
+    let w = workload(inv)?;
+    let trace = w.record()?;
+    let outcome = Methodology::new()
+        .with_jobs(inv.jobs)
+        .explore_sharded(&trace, inv.shards)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name());
+    let _ = writeln!(
+        out,
+        "shards: {} (requested {}; phase-aligned shards win over the flag)",
+        outcome.shard_count, inv.shards
+    );
+    for s in &outcome.per_shard {
+        let label = match s.phase {
+            Some(p) => format!("shard {} (phase {p})", s.index),
+            None => format!("shard {}", s.index),
+        };
+        let _ = writeln!(
+            out,
+            "  {label}: {} events, peak {} B, vote weight {} B",
+            s.events, s.outcome.footprint.peak_footprint, s.weight as usize
+        );
+    }
+    let _ = writeln!(
+        out,
+        "evaluations: {} ({} replays, {} cache hits)",
+        outcome.evaluations, outcome.replays, outcome.cache_hits
+    );
+    let _ = writeln!(out, "merge log (score-weighted vote per tree):");
+    for d in &outcome.merges {
+        let votes = d
+            .votes
+            .iter()
+            .map(|v| format!("{} ({} shards, {} B)", v.leaf, v.shards, v.weight as usize))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let mark = if d.unanimous { "=" } else { "~" };
+        let _ = writeln!(out, "  {} {mark}> {}   [{votes}]", d.tree.code(), d.chosen);
+    }
+    let _ = writeln!(out, "\nmerged configuration: {}", outcome.config.summary());
+    let _ = writeln!(
+        out,
+        "composed peak footprint: {} B (application peak live: {} B)",
+        outcome.footprint.peak_footprint,
+        trace.peak_live_requested()
+    );
+    // This in-memory path holds the recorded trace and its shards at
+    // once; only the streaming API (`explore_shard_stream`) realises the
+    // per-shard bound — report the figure as that path's bound, not as
+    // this invocation's resident memory.
+    let _ = writeln!(
+        out,
+        "largest shard: {} B of {} B total trace (streaming exploration is \
+         bounded by the largest shard; carried across boundaries: {} B)",
+        outcome.peak_resident_trace_bytes,
+        trace.resident_bytes(),
+        outcome.max_carried_bytes
+    );
+    Ok(out)
+}
+
 /// `dmm compare <workload>`.
 ///
 /// # Errors
@@ -261,10 +344,18 @@ pub fn compare_text(inv: &Invocation) -> Result<String> {
     let w = workload(inv)?;
     let trace = w.record()?;
     let profile = Profile::of(&trace);
-    let custom = Methodology::new()
+    let methodology = Methodology::new()
         .with_name("our DM manager")
-        .with_jobs(inv.jobs)
-        .explore(&trace)?;
+        .with_jobs(inv.jobs);
+    // With --shards=N the custom design comes from sharded exploration —
+    // same comparison table, scalable design path.
+    let custom_config = if inv.shards > 1 {
+        let mut sharded = methodology.explore_sharded(&trace, inv.shards)?;
+        sharded.config.name = "our DM manager (sharded)".into();
+        sharded.config
+    } else {
+        methodology.explore(&trace)?.config
+    };
     let mut managers: Vec<Box<dyn Allocator>> = vec![
         Box::new(KingsleyAllocator::with_initial_region(if inv.full {
             2 * 1024 * 1024
@@ -274,7 +365,7 @@ pub fn compare_text(inv: &Invocation) -> Result<String> {
         Box::new(LeaAllocator::new()),
         Box::new(RegionAllocator::with_profile(&profile)),
         Box::new(ObstackAllocator::new()),
-        Box::new(PolicyAllocator::new(custom.config)?),
+        Box::new(PolicyAllocator::new(custom_config)?),
     ];
     let mut table = Table::new(
         format!("footprint on {}", w.name()),
@@ -346,6 +437,27 @@ pub fn phases_text(inv: &Invocation) -> Result<String> {
             p.phases.first().map(|x| x.stack_like).unwrap_or(false)
         );
     }
+    // --shards=N: show how the detected structure shards (phase-aligned
+    // when the detector found phases, lifetime-closed windows otherwise).
+    if inv.shards > 1 {
+        let shards = dmm_core::trace::shard_trace(&annotated, inv.shards);
+        let _ = writeln!(out, "shard plan ({} shards):", shards.len());
+        for s in &shards {
+            let label = match s.phase {
+                Some(p) => format!("phase {p}"),
+                None => "window".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  shard {} ({label}): {} events, {} resident B, boundary carry {} B{}",
+                s.index,
+                s.trace.len(),
+                s.resident_bytes(),
+                s.boundary.carried_bytes,
+                if s.boundary.is_closed() { " (closed)" } else { "" }
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -388,18 +500,26 @@ mod tests {
 
     #[test]
     fn parse_flags_and_positionals() {
-        let i = inv(&["explore", "recon", "--seed=7", "--full", "--jobs=4"]);
+        let i = inv(&["explore", "recon", "--seed=7", "--full", "--jobs=4", "--shards=8"]);
         assert_eq!(i.command, "explore");
         assert_eq!(i.positional, vec!["recon"]);
         assert_eq!(i.seed, 7);
         assert!(i.full);
         assert_eq!(i.jobs, 4);
+        assert_eq!(i.shards, 8);
         assert_eq!(inv(&["explore"]).jobs, 0, "jobs defaults to all cores");
+        assert_eq!(inv(&["explore"]).shards, 1, "shards defaults to unsharded");
         assert_eq!(
             inv(&["explore", "--jobs=oops"]).jobs,
             1,
             "malformed jobs falls back to serial, not all cores"
         );
+        assert_eq!(
+            inv(&["explore", "--shards=oops"]).shards,
+            1,
+            "malformed shard count falls back to unsharded"
+        );
+        assert_eq!(inv(&["explore", "--shards=0"]).shards, 1);
     }
 
     #[test]
@@ -467,6 +587,31 @@ mod tests {
     fn unknown_command_and_workload_error() {
         assert!(run(&inv(&["frobnicate"])).is_err());
         assert!(run(&inv(&["profile", "nosuch"])).is_err());
+    }
+
+    #[test]
+    fn sharded_explore_prints_merge_log_and_memory_bound() {
+        let out = explore_text(&inv(&["explore", "drr", "--shards=3", "--jobs=2"])).unwrap();
+        assert!(out.contains("merge log"), "{out}");
+        assert!(out.contains("merged configuration"), "{out}");
+        assert!(out.contains("largest shard:"), "{out}");
+        for code in ["A1", "A2", "C1"] {
+            assert!(out.contains(code), "merge log missing {code}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn sharded_compare_still_lists_five_managers() {
+        let out = compare_text(&inv(&["compare", "drr", "--shards=2"])).unwrap();
+        assert!(out.contains("our DM manager"), "{out}");
+        assert!(out.contains("Lea"), "{out}");
+    }
+
+    #[test]
+    fn phases_with_shards_prints_the_shard_plan() {
+        let out = phases_text(&inv(&["phases", "render", "--shards=4"])).unwrap();
+        assert!(out.contains("shard plan"), "{out}");
+        assert!(out.contains("shard 0"), "{out}");
     }
 
     #[test]

@@ -149,6 +149,19 @@ impl ExplorationEngine {
         results.into_iter().collect()
     }
 
+    /// Evaluate a single configuration against `trace`, memoised under the
+    /// trace's own fingerprint. Sharded exploration leans on this: each
+    /// shard is its own cache partition, so replaying the merged design
+    /// over a shard whose exploration already scored that configuration is
+    /// a cache hit, not a second replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager construction and replay failures.
+    pub fn evaluate_config(&self, trace: &Trace, cfg: &DmConfig) -> Result<Evaluation> {
+        self.evaluate_one(trace, TraceKey::of(trace), cfg)
+    }
+
     fn evaluate_one(&self, trace: &Trace, key: TraceKey, cfg: &DmConfig) -> Result<Evaluation> {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         if let Some(mut stats) = self.cache.get_keyed(key, cfg) {

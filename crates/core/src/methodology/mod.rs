@@ -42,6 +42,7 @@ use crate::space::trees::{
     FlexibleSize, Leaf, PoolDivision, PoolStructure, RecordedInfo, SplitMinSizes, SplitWhen,
     TreeId,
 };
+use crate::trace::shard::{shard_trace, TraceShard};
 use crate::trace::{replay, Trace};
 
 /// How undecided trees are filled while scoring a candidate leaf.
@@ -118,6 +119,97 @@ impl PhasedOutcome {
             c.cache_hits += o.cache_hits;
         }
         c
+    }
+}
+
+/// Documented agreement tolerance of sharded exploration: on small,
+/// shardable traces the merged design's peak footprint stays within this
+/// fraction of whole-trace [`Methodology::explore`]'s (tests enforce it).
+/// The slack exists because each shard votes from its own window — a
+/// shard-local winner can differ from the whole-trace winner when windows
+/// have genuinely different behaviour, and per-shard replays each start
+/// from a fresh arena.
+pub const SHARD_MERGE_TOLERANCE: f64 = 0.25;
+
+/// One leaf's tally in the sharded merge rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeVote {
+    /// The leaf voted for.
+    pub leaf: Leaf,
+    /// Summed weight of the shards that chose it (each shard weighs its
+    /// peak live demand in bytes — see
+    /// [`TraceShard::weight`](crate::trace::TraceShard::weight)).
+    pub weight: f64,
+    /// Number of shards that chose it.
+    pub shards: usize,
+}
+
+/// The record of one tree's merged decision across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeDecision {
+    /// Which tree was merged.
+    pub tree: TreeId,
+    /// The winning leaf.
+    pub chosen: Leaf,
+    /// Every leaf that received at least one (admissible) shard vote.
+    pub votes: Vec<MergeVote>,
+    /// Whether every shard voted for the winner.
+    pub unanimous: bool,
+}
+
+/// One shard's exploration inside a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard position in the original trace.
+    pub index: usize,
+    /// Phase covered, when sharding was phase-aligned.
+    pub phase: Option<u32>,
+    /// The shard's merge-vote weight (peak live requested bytes).
+    pub weight: f64,
+    /// Events in the shard.
+    pub events: usize,
+    /// The shard's own exploration.
+    pub outcome: ExplorationOutcome,
+}
+
+/// Result of sharded exploration ([`Methodology::explore_sharded`]).
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// The merged configuration (majority/score-weighted vote per tree).
+    pub config: DmConfig,
+    /// Composed replay of the merged configuration over every shard
+    /// (counters summed, peaks maxed — see
+    /// [`FootprintStats::absorb_shard`]).
+    pub footprint: FootprintStats,
+    /// Per-tree merge log, in traversal order — one entry per merged
+    /// choice.
+    pub merges: Vec<MergeDecision>,
+    /// Per-shard explorations, in shard order.
+    pub per_shard: Vec<ShardOutcome>,
+    /// Total candidate evaluations across shards and composition.
+    pub evaluations: usize,
+    /// Evaluations that required a fresh replay.
+    pub replays: usize,
+    /// Evaluations served from the engine's replay cache.
+    pub cache_hits: usize,
+    /// Number of shards explored.
+    pub shard_count: usize,
+    /// Largest single shard resident during the composed replay pass —
+    /// the streaming path's trace-memory bound.
+    pub peak_resident_trace_bytes: usize,
+    /// Worst live-set carry across any shard boundary (0 = every shard
+    /// was lifetime-closed and no footprint signal crossed a cut).
+    pub max_carried_bytes: usize,
+}
+
+impl ShardedOutcome {
+    /// The run's evaluation counters.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            evaluations: self.evaluations,
+            replays: self.replays,
+            cache_hits: self.cache_hits,
+        }
     }
 }
 
@@ -531,6 +623,243 @@ impl Methodology {
             per_phase,
         })
     }
+
+    /// Shard a trace ([`shard_trace`]) and run the methodology per shard,
+    /// merging the per-shard designs into one configuration.
+    ///
+    /// Each shard is explored independently (fanned out over the engine's
+    /// jobs, memoised per shard fingerprint), then the **merge rule**
+    /// composes the designs: traversing the trees in this methodology's
+    /// order, every shard votes for the leaf its design chose, weighted by
+    /// the shard's peak live demand; the heaviest admissible leaf wins and
+    /// constrains the trees below it, with a [`MergeDecision`] logged per
+    /// tree. On shardable traces the merged design agrees with whole-trace
+    /// [`Methodology::explore`] within [`SHARD_MERGE_TOLERANCE`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Methodology::explore`]; also errors on an empty trace.
+    pub fn explore_sharded(&self, trace: &Trace, shards: usize) -> Result<ShardedOutcome> {
+        self.explore_sharded_with_engine(trace, shards, &ExplorationEngine::new(self.jobs))
+    }
+
+    /// Like [`Methodology::explore_sharded`], evaluating through a
+    /// caller-provided [`ExplorationEngine`]. Shard explorations fan out
+    /// over the engine's jobs; the composed replay of the merged design is
+    /// served from the cache wherever a shard already scored it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Methodology::explore_sharded`].
+    pub fn explore_sharded_with_engine(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        engine: &ExplorationEngine,
+    ) -> Result<ShardedOutcome> {
+        let parts = shard_trace(trace, shards);
+        if parts.is_empty() {
+            return Err(Error::EmptySearchSpace("cannot explore an empty trace".into()));
+        }
+        let results = engine.run_parallel(&parts, |s| {
+            self.shard_methodology(s).explore_with_engine(&s.trace, engine)
+        });
+        let mut per_shard = Vec::with_capacity(parts.len());
+        for (s, r) in parts.iter().zip(results) {
+            per_shard.push(ShardOutcome {
+                index: s.index,
+                phase: s.phase,
+                weight: s.weight(),
+                events: s.trace.len(),
+                outcome: r?,
+            });
+        }
+        let (config, merges) = self.merge_shard_designs(&per_shard)?;
+        self.compose_sharded(per_shard, merges, config, parts, engine)
+    }
+
+    /// Streaming sharded exploration: shards are drawn from `source` one
+    /// at a time and dropped as soon as they are explored, so trace memory
+    /// is bounded by the **largest shard** — never the whole trace. The
+    /// source is invoked twice: once to explore each shard, once to replay
+    /// the merged design over them (seed-deterministic generators make the
+    /// second pass free of any whole-trace materialisation too).
+    ///
+    /// Within each shard, candidate evaluation still fans out over the
+    /// engine's jobs; across shards this path is deliberately serial —
+    /// that is what keeps the memory bound.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Methodology::explore_sharded`]; also errors if `source`
+    /// yields no shards.
+    pub fn explore_shard_stream<F, I>(
+        &self,
+        source: F,
+        engine: &ExplorationEngine,
+    ) -> Result<ShardedOutcome>
+    where
+        F: Fn() -> I,
+        I: IntoIterator<Item = TraceShard>,
+    {
+        let mut per_shard = Vec::new();
+        for shard in source() {
+            let outcome = self
+                .shard_methodology(&shard)
+                .explore_with_engine(&shard.trace, engine)?;
+            per_shard.push(ShardOutcome {
+                index: shard.index,
+                phase: shard.phase,
+                weight: shard.weight(),
+                events: shard.trace.len(),
+                outcome,
+            });
+            // `shard` drops here: only one shard is ever resident.
+        }
+        if per_shard.is_empty() {
+            return Err(Error::EmptySearchSpace("shard source yielded no shards".into()));
+        }
+        let (config, merges) = self.merge_shard_designs(&per_shard)?;
+        self.compose_sharded(per_shard, merges, config, source(), engine)
+    }
+
+    /// Per-shard methodology: same hypothesis, labelled for the shard.
+    fn shard_methodology(&self, s: &TraceShard) -> Methodology {
+        let label = match s.phase {
+            Some(p) => format!("{} [shard {} · phase {p}]", self.name, s.index),
+            None => format!("{} [shard {}]", self.name, s.index),
+        };
+        self.clone().with_name(label)
+    }
+
+    /// The merge rule: score-weighted majority vote per tree leaf,
+    /// constrained to admissibility under the already-merged prefix.
+    fn merge_shard_designs(
+        &self,
+        per_shard: &[ShardOutcome],
+    ) -> Result<(DmConfig, Vec<MergeDecision>)> {
+        let mut partial = PartialConfig::default();
+        let mut merges = Vec::with_capacity(self.order.len());
+        for &tree in &self.order {
+            let admissible = admissible_leaves(tree, &partial);
+            if admissible.is_empty() {
+                return Err(Error::EmptySearchSpace(format!(
+                    "tree {} has no admissible leaf under the merged prefix",
+                    tree.code()
+                )));
+            }
+            // Tally in admissible order so ties break deterministically
+            // toward the earlier leaf, independent of shard order.
+            let mut votes: Vec<MergeVote> = admissible
+                .iter()
+                .map(|&leaf| MergeVote {
+                    leaf,
+                    weight: 0.0,
+                    shards: 0,
+                })
+                .collect();
+            for s in per_shard {
+                let leaf = s.outcome.config.leaf(tree);
+                // A shard whose choice became inadmissible under the
+                // merged prefix abstains on this tree.
+                if let Some(v) = votes.iter_mut().find(|v| v.leaf == leaf) {
+                    v.weight += s.weight;
+                    v.shards += 1;
+                }
+            }
+            let mut winner: Option<(Leaf, f64)> = None;
+            for v in votes.iter().filter(|v| v.shards > 0) {
+                if winner.is_none_or(|(_, w)| v.weight > w) {
+                    winner = Some((v.leaf, v.weight));
+                }
+            }
+            let chosen = match winner {
+                Some((leaf, _)) => leaf,
+                // Every shard abstained: fall back to the preferred
+                // admissible default, as a completion would.
+                None => default_leaf(tree, &partial)?,
+            };
+            votes.retain(|v| v.shards > 0);
+            let unanimous = votes.len() == 1 && votes[0].shards == per_shard.len();
+            partial.set(chosen);
+            merges.push(MergeDecision {
+                tree,
+                chosen,
+                votes,
+                unanimous,
+            });
+        }
+        // Quantitative parameters come from the merged shard profiles —
+        // the whole trace is never profiled in one piece.
+        let mut profile = per_shard[0].outcome.profile.clone();
+        for s in &per_shard[1..] {
+            profile.merge(&s.outcome.profile);
+        }
+        let params = self.seed_params(&profile);
+        let config = partial.freeze(
+            format!("{} [merged ×{}]", self.name, per_shard.len()),
+            params,
+        )?;
+        config.validate()?;
+        Ok((config, merges))
+    }
+
+    /// Replay the merged design over every shard (cache-assisted) and
+    /// assemble the outcome.
+    fn compose_sharded<I>(
+        &self,
+        per_shard: Vec<ShardOutcome>,
+        merges: Vec<MergeDecision>,
+        config: DmConfig,
+        shards: I,
+        engine: &ExplorationEngine,
+    ) -> Result<ShardedOutcome>
+    where
+        I: IntoIterator<Item = TraceShard>,
+    {
+        let mut composed: Option<FootprintStats> = None;
+        let mut evaluations = 0usize;
+        let mut replays = 0usize;
+        let mut cache_hits = 0usize;
+        let mut peak_resident = 0usize;
+        let mut max_carried = 0usize;
+        for shard in shards {
+            peak_resident = peak_resident.max(shard.trace.resident_bytes());
+            max_carried = max_carried.max(shard.boundary.carried_bytes);
+            let eval = engine.evaluate_config(&shard.trace, &config)?;
+            evaluations += 1;
+            if eval.cache_hit {
+                cache_hits += 1;
+            } else {
+                replays += 1;
+            }
+            match composed.as_mut() {
+                None => composed = Some(eval.stats),
+                Some(acc) => acc.absorb_shard(&eval.stats),
+            }
+        }
+        let footprint = composed.ok_or_else(|| {
+            Error::EmptySearchSpace("shard source yielded no shards to compose".into())
+        })?;
+        for s in &per_shard {
+            evaluations += s.outcome.evaluations;
+            replays += s.outcome.replays;
+            cache_hits += s.outcome.cache_hits;
+        }
+        let shard_count = per_shard.len();
+        Ok(ShardedOutcome {
+            config,
+            footprint,
+            merges,
+            per_shard,
+            evaluations,
+            replays,
+            cache_hits,
+            shard_count,
+            peak_resident_trace_bytes: peak_resident,
+            max_carried_bytes: max_carried,
+        })
+    }
 }
 
 /// Minimal-machinery admissible leaf — the myopic designer's preference.
@@ -935,6 +1264,138 @@ mod tests {
             .explore(&t)
             .unwrap();
         assert_eq!(a.config.summary(), b.config.summary());
+    }
+
+    /// Homogeneous churn trace with lifetime-closed window boundaries:
+    /// every window repeats the same statistical behaviour.
+    fn windowed_trace(windows: usize, per_window: usize) -> Trace {
+        let mut b = Trace::builder();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..windows {
+            let mut live: Vec<u64> = Vec::new();
+            for _ in 0..per_window {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if live.is_empty() || x % 5 < 3 {
+                    live.push(b.alloc(24 + (x % 1450) as usize));
+                } else {
+                    let idx = (x as usize / 11) % live.len();
+                    b.free(live.swap_remove(idx));
+                }
+            }
+            for id in live {
+                b.free(id);
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn sharded_exploration_agrees_with_whole_trace_within_tolerance() {
+        let t = windowed_trace(3, 150);
+        let whole = Methodology::new().explore(&t).unwrap();
+        let sharded = Methodology::new().explore_sharded(&t, 3).unwrap();
+        assert_eq!(sharded.shard_count, 3);
+        sharded.config.validate().unwrap();
+        // The merged design replays the whole trace within the documented
+        // tolerance of the whole-trace design.
+        let mut m = PolicyAllocator::new(sharded.config.clone()).unwrap();
+        let merged_on_whole = replay(&t, &mut m).unwrap();
+        let bound =
+            (whole.footprint.peak_footprint as f64 * (1.0 + SHARD_MERGE_TOLERANCE)) as usize;
+        assert!(
+            merged_on_whole.peak_footprint <= bound,
+            "merged {} vs whole {} exceeds tolerance",
+            merged_on_whole.peak_footprint,
+            whole.footprint.peak_footprint
+        );
+        // Homogeneous windows: the shards should largely agree with the
+        // whole-trace design tree for tree.
+        let agreeing = TreeId::ALL
+            .iter()
+            .filter(|&&tr| sharded.config.leaf(tr) == whole.config.leaf(tr))
+            .count();
+        assert!(agreeing >= 9, "only {agreeing}/12 trees agree");
+    }
+
+    #[test]
+    fn sharded_outcome_accounting_is_consistent() {
+        let t = windowed_trace(3, 120);
+        let sharded = Methodology::new().explore_sharded(&t, 3).unwrap();
+        assert_eq!(
+            sharded.replays + sharded.cache_hits,
+            sharded.evaluations,
+            "counters must partition the evaluations"
+        );
+        assert_eq!(sharded.merges.len(), 12, "one merge entry per tree");
+        assert_eq!(sharded.footprint.events, t.len());
+        assert_eq!(sharded.footprint.stats.allocs as usize, t.alloc_count());
+        assert_eq!(sharded.max_carried_bytes, 0, "drained windows are closed");
+        assert!(
+            sharded.peak_resident_trace_bytes < t.resident_bytes(),
+            "composed replay must never hold the whole trace"
+        );
+        // Closed shards preserve the demand peak exactly.
+        assert_eq!(sharded.footprint.peak_requested, t.peak_live_requested());
+        for d in &sharded.merges {
+            assert!(
+                d.votes.iter().any(|v| v.leaf == d.chosen) || d.votes.is_empty(),
+                "{:?}: winner must come from the votes when any were cast",
+                d.tree
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_exploration_is_phase_aligned_on_phased_traces() {
+        let t = phased_trace();
+        let sharded = Methodology::new().explore_sharded(&t, 7).unwrap();
+        assert_eq!(sharded.shard_count, 2, "phase boundaries win over --shards");
+        let phases: Vec<Option<u32>> = sharded.per_shard.iter().map(|s| s.phase).collect();
+        assert_eq!(phases, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn shard_stream_matches_materialised_sharding() {
+        let t = windowed_trace(3, 100);
+        let engine_a = ExplorationEngine::serial();
+        let a = Methodology::new()
+            .explore_sharded_with_engine(&t, 3, &engine_a)
+            .unwrap();
+        let engine_b = ExplorationEngine::serial();
+        let b = Methodology::new()
+            .explore_shard_stream(|| crate::trace::shard_trace(&t, 3), &engine_b)
+            .unwrap();
+        assert_eq!(a.config.summary(), b.config.summary());
+        assert_eq!(a.footprint.peak_footprint, b.footprint.peak_footprint);
+        assert_eq!(a.shard_count, b.shard_count);
+        assert_eq!(a.merges, b.merges);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn parallel_sharded_exploration_is_bit_identical_to_serial() {
+        let t = windowed_trace(2, 120);
+        let serial = Methodology::new().explore_sharded(&t, 2).unwrap();
+        let parallel = Methodology::new().with_jobs(4).explore_sharded(&t, 2).unwrap();
+        assert_eq!(serial.config.summary(), parallel.config.summary());
+        assert_eq!(serial.merges, parallel.merges);
+        assert_eq!(
+            serial.footprint.peak_footprint,
+            parallel.footprint.peak_footprint
+        );
+        assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn sharded_exploration_rejects_empty_traces() {
+        let t = Trace::from_events(vec![]).unwrap();
+        assert!(Methodology::new().explore_sharded(&t, 4).is_err());
+        let engine = ExplorationEngine::serial();
+        assert!(Methodology::new()
+            .explore_shard_stream(|| Vec::new().into_iter(), &engine)
+            .is_err());
     }
 
     #[test]

@@ -128,6 +128,33 @@ impl AllocStats {
         }
     }
 
+    /// Fold the statistics of a *subsequent, independently run* manager
+    /// into this one — the composition rule of sharded replay.
+    ///
+    /// Monotone work counters (allocs, frees, splits, searches…) sum;
+    /// peaks take the maximum (each shard ran against a fresh arena, so
+    /// peaks never stack); instantaneous state (`live_*`, `system`,
+    /// `static_overhead`) takes `other`'s final values, as the composed
+    /// run ends where the last shard ended.
+    pub fn absorb(&mut self, other: &AllocStats) {
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.splits += other.splits;
+        self.coalesces += other.coalesces;
+        self.sbrk_calls += other.sbrk_calls;
+        self.trims += other.trims;
+        self.search_steps += other.search_steps;
+        self.failed_fits += other.failed_fits;
+        self.reallocs += other.reallocs;
+        self.reallocs_in_place += other.reallocs_in_place;
+        self.peak_requested = self.peak_requested.max(other.peak_requested);
+        self.peak_footprint = self.peak_footprint.max(other.peak_footprint);
+        self.live_requested = other.live_requested;
+        self.live_block = other.live_block;
+        self.system = other.system;
+        self.static_overhead = other.static_overhead;
+    }
+
     /// Live-count of allocations (allocs − frees).
     ///
     /// Saturates at zero on drifted traces where frees outnumber allocs
@@ -212,6 +239,19 @@ impl FootprintStats {
     /// `improvement_over` of 36.0 means "36 % less footprint than `other`".
     pub fn improvement_over(&self, other: &FootprintStats) -> f64 {
         percent_improvement(self.peak_footprint, other.peak_footprint)
+    }
+
+    /// Fold the replay of a *subsequent shard* into this summary (see
+    /// [`AllocStats::absorb`] for the composition rule). The manager name
+    /// stays this summary's; any sampled series is dropped — per-shard
+    /// curves do not concatenate into one meaningful timeline.
+    pub fn absorb_shard(&mut self, other: &FootprintStats) {
+        self.peak_footprint = self.peak_footprint.max(other.peak_footprint);
+        self.final_footprint = other.final_footprint;
+        self.peak_requested = self.peak_requested.max(other.peak_requested);
+        self.events += other.events;
+        self.stats.absorb(&other.stats);
+        self.series = None;
     }
 }
 
@@ -310,6 +350,57 @@ mod tests {
             ..AllocStats::default()
         };
         assert_eq!(s.live_count(), 0, "clamped, not wrapped");
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_peaks() {
+        let mut a = AllocStats::default();
+        a.on_alloc(100, 112);
+        a.set_system(4096, 16);
+        a.on_free(100, 112);
+        a.search_steps = 7;
+        let mut b = AllocStats::default();
+        b.on_alloc(50, 64);
+        b.set_system(1024, 16);
+        b.search_steps = 5;
+        let b_live = b.live_requested;
+        a.absorb(&b);
+        assert_eq!(a.allocs, 2);
+        assert_eq!(a.frees, 1);
+        assert_eq!(a.search_steps, 12);
+        assert_eq!(a.peak_footprint, 4112, "peaks max, never sum");
+        assert_eq!(a.peak_requested, 100);
+        assert_eq!(a.live_requested, b_live, "state comes from the last shard");
+        assert_eq!(a.system, 1040);
+    }
+
+    #[test]
+    fn absorb_shard_composes_footprint_summaries() {
+        let mut first = FootprintStats {
+            manager: "m".into(),
+            peak_footprint: 5000,
+            final_footprint: 0,
+            peak_requested: 3000,
+            events: 10,
+            stats: AllocStats::default(),
+            series: Some(TimeSeries::default()),
+        };
+        let second = FootprintStats {
+            manager: "other".into(),
+            peak_footprint: 4000,
+            final_footprint: 128,
+            peak_requested: 3500,
+            events: 6,
+            stats: AllocStats::default(),
+            series: None,
+        };
+        first.absorb_shard(&second);
+        assert_eq!(first.manager, "m");
+        assert_eq!(first.peak_footprint, 5000);
+        assert_eq!(first.final_footprint, 128);
+        assert_eq!(first.peak_requested, 3500);
+        assert_eq!(first.events, 16);
+        assert!(first.series.is_none(), "per-shard series do not concatenate");
     }
 
     #[test]

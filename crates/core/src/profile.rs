@@ -59,6 +59,13 @@ impl SizeHistogram {
         sum as f64 / total as f64
     }
 
+    /// Fold another histogram's counts into this one.
+    pub fn merge(&mut self, other: &SizeHistogram) {
+        for (size, count) in other.iter() {
+            *self.counts.entry(size).or_insert(0) += count;
+        }
+    }
+
     /// Coefficient of variation of request sizes (σ/μ); the paper's
     /// "blocks that vary greatly in size" shows up as a large value.
     pub fn coefficient_of_variation(&self) -> f64 {
@@ -194,7 +201,10 @@ impl Profile {
                         let life = i - birth;
                         life_sum += life as u128;
                         life_max = life_max.max(life);
-                        let ph = owner.get(id).copied().unwrap_or(current_phase);
+                        // Remove, don't peek: dead entries kept for the
+                        // rest of the walk would grow the map to O(total
+                        // allocs) instead of O(peak live).
+                        let ph = owner.remove(id).unwrap_or(current_phase);
                         let acc = phase_accs.get_mut(&ph).expect("owner phase exists");
                         acc.frees += 1;
                         acc.live = acc.live.saturating_sub(size);
@@ -242,6 +252,37 @@ impl Profile {
             peak_live_count,
             lifetimes,
             phases,
+        }
+    }
+
+    /// Fold the profile of a *disjoint* trace shard into this one — the
+    /// aggregation sharded exploration uses to seed the merged
+    /// configuration's parameters without ever profiling the whole trace
+    /// at once.
+    ///
+    /// Counters and histograms sum; live peaks take the maximum (shards
+    /// are lifetime-closed windows or owner-attributed phases, so their
+    /// live sets never stack); lifetime means combine weighted by free
+    /// counts. Per-phase breakdowns concatenate, keeping the first
+    /// occurrence of a phase id.
+    pub fn merge(&mut self, other: &Profile) {
+        let total_frees = self.frees + other.frees;
+        if total_frees > 0 {
+            self.lifetimes.mean = (self.lifetimes.mean * self.frees as f64
+                + other.lifetimes.mean * other.frees as f64)
+                / total_frees as f64;
+        }
+        self.lifetimes.max = self.lifetimes.max.max(other.lifetimes.max);
+        self.lifetimes.immortal += other.lifetimes.immortal;
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.histogram.merge(&other.histogram);
+        self.peak_live_bytes = self.peak_live_bytes.max(other.peak_live_bytes);
+        self.peak_live_count = self.peak_live_count.max(other.peak_live_count);
+        for ph in &other.phases {
+            if self.phases.iter().all(|p| p.phase != ph.phase) {
+                self.phases.push(ph.clone());
+            }
         }
     }
 
@@ -452,6 +493,54 @@ mod tests {
         assert!(!classes.is_empty());
         assert!(classes.windows(2).all(|w| w[0] < w[1]));
         assert!(classes.iter().all(|c| c % MIN_ALIGN == 0 && *c >= MIN_BLOCK));
+    }
+
+    #[test]
+    fn merged_shard_profiles_agree_with_the_whole_trace_profile() {
+        // Two lifetime-closed halves of one trace: merging their profiles
+        // must reproduce the whole-trace counts, histogram and peaks.
+        let build = |b: &mut crate::trace::TraceBuilder, sizes: &[usize]| {
+            let ids: Vec<u64> = sizes.iter().map(|&s| b.alloc(s)).collect();
+            for id in ids {
+                b.free(id);
+            }
+        };
+        let (first, second) = (&[64usize, 128, 64][..], &[256usize, 64][..]);
+        let mut whole = Trace::builder();
+        build(&mut whole, first);
+        build(&mut whole, second);
+        let whole = Profile::of(&whole.finish().unwrap());
+
+        let mut a = Trace::builder();
+        build(&mut a, first);
+        let mut merged = Profile::of(&a.finish().unwrap());
+        let mut b = Trace::builder();
+        build(&mut b, second);
+        merged.merge(&Profile::of(&b.finish().unwrap()));
+
+        assert_eq!(merged.allocs, whole.allocs);
+        assert_eq!(merged.frees, whole.frees);
+        assert_eq!(merged.histogram, whole.histogram);
+        assert_eq!(merged.peak_live_bytes, whole.peak_live_bytes);
+        assert_eq!(merged.peak_live_count, whole.peak_live_count);
+        assert_eq!(
+            merged.suggested_classes(8, 4),
+            whole.suggested_classes(8, 4),
+            "merged profiles must seed the same size classes"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = SizeHistogram::default();
+        a.record(100);
+        a.record(100);
+        let mut b = SizeHistogram::default();
+        b.record(100);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.top_k(1), vec![(100, 3)]);
     }
 
     #[test]

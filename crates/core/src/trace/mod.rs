@@ -7,8 +7,13 @@
 //! for every comparator, exactly like the paper's 10-simulation averages.
 
 mod record;
+pub mod shard;
 
 pub use record::RecordingAllocator;
+pub use shard::{
+    replay_shards, replay_shards_config, shard_trace, BoundarySummary, ShardedReplay,
+    TraceShard,
+};
 
 use std::collections::HashMap;
 
@@ -34,8 +39,17 @@ pub enum TraceEvent {
         id: u64,
     },
     /// The application entered logical phase `phase` (Section 3.3).
+    ///
+    /// Markers are **re-entrant**: phase ids may repeat and revisit
+    /// earlier phases in any order (the rendering case study alternates
+    /// `1, 0, 1, 0, …` every frame). Consumers that need one bucket per
+    /// phase — [`Trace::split_phases`] and phase-aligned sharding
+    /// ([`shard_trace`]) — merge every segment of a phase into that
+    /// phase's single bucket, attributing each object to the phase that
+    /// allocated it. [`Trace::phases_are_monotonic`] reports whether a
+    /// trace happens to use the simpler one-shot phase discipline.
     Phase {
-        /// Phase id; monotonically increasing in well-formed traces.
+        /// Phase id; re-entrant (see above).
         phase: u32,
     },
 }
@@ -60,7 +74,9 @@ impl Trace {
     /// # Errors
     ///
     /// Returns [`Error::MalformedTrace`] on duplicate ids, frees of unknown
-    /// or dead ids, or zero-id reuse.
+    /// or dead ids, or zero-id reuse. Phase markers are deliberately
+    /// unconstrained — any sequence of ids is well-formed under the
+    /// re-entrant contract documented on [`TraceEvent::Phase`].
     pub fn from_events(events: Vec<TraceEvent>) -> Result<Self> {
         let mut live: HashMap<u64, ()> = HashMap::new();
         let mut seen: HashMap<u64, ()> = HashMap::new();
@@ -152,22 +168,61 @@ impl Trace {
     /// Peak simultaneously-live requested bytes — a manager-independent
     /// lower bound for any manager's footprint.
     pub fn peak_live_requested(&self) -> usize {
+        self.live_set_peak().bytes
+    }
+
+    /// Walk the live set once and report its peaks.
+    ///
+    /// The walk's own bookkeeping is bounded by the peak live set — dead
+    /// entries are dropped as frees arrive, never retained for the rest of
+    /// the trace — so [`LiveSetPeak::blocks`] (the bookkeeping's measured
+    /// high-water mark) is O(peak live), not O(total allocs).
+    pub fn live_set_peak(&self) -> LiveSetPeak {
         let mut sizes: HashMap<u64, usize> = HashMap::new();
         let (mut live, mut peak) = (0usize, 0usize);
+        let mut peak_blocks = 0usize;
         for ev in &self.events {
             match ev {
                 TraceEvent::Alloc { id, size } => {
                     sizes.insert(*id, *size);
                     live += size;
                     peak = peak.max(live);
+                    peak_blocks = peak_blocks.max(sizes.len());
                 }
                 TraceEvent::Free { id } => {
-                    live -= sizes.get(id).copied().unwrap_or(0);
+                    live -= sizes.remove(id).unwrap_or(0);
                 }
                 TraceEvent::Phase { .. } => {}
             }
         }
-        peak
+        LiveSetPeak {
+            bytes: peak,
+            blocks: peak_blocks,
+        }
+    }
+
+    /// Bytes this trace's events occupy while resident in memory — what a
+    /// whole-trace replay must hold, and what sharded replay bounds by the
+    /// largest shard instead.
+    pub fn resident_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<TraceEvent>()
+    }
+
+    /// Whether the phase markers follow the simple one-shot discipline
+    /// (each marker ≥ its predecessor). Re-entrant traces (the rendering
+    /// workload's `1, 0, 1, 0, …`) return `false`; both are well-formed —
+    /// see [`TraceEvent::Phase`].
+    pub fn phases_are_monotonic(&self) -> bool {
+        let mut last: Option<u32> = None;
+        for ev in &self.events {
+            if let TraceEvent::Phase { phase } = ev {
+                if last.is_some_and(|l| *phase < l) {
+                    return false;
+                }
+                last = Some(*phase);
+            }
+        }
+        true
     }
 
     /// Split into per-phase sub-traces: each contains the allocations made
@@ -175,8 +230,14 @@ impl Trace {
     /// in later phases are attributed to the *owning* phase, keeping every
     /// sub-trace self-contained).
     ///
-    /// Traces without phase markers yield a single sub-trace.
+    /// Phase markers are re-entrant ([`TraceEvent::Phase`]): a repeated or
+    /// revisited marker **merges** into the phase's existing bucket, so a
+    /// trace announcing `0, 1, 0` yields two sub-traces, with both phase-0
+    /// segments in the first. Traces without phase markers yield a single
+    /// sub-trace.
     pub fn split_phases(&self) -> Vec<(u32, Trace)> {
+        // Owner entries are dropped once the object dies, so the map is
+        // bounded by the peak live set, not the total allocation count.
         let mut owner: HashMap<u64, u32> = HashMap::new();
         let mut current = 0u32;
         let mut buckets: Vec<(u32, Vec<TraceEvent>)> = vec![(0, Vec::new())];
@@ -197,7 +258,7 @@ impl Trace {
                     b.1.push(*ev);
                 }
                 TraceEvent::Free { id } => {
-                    let ph = owner.get(id).copied().unwrap_or(current);
+                    let ph = owner.remove(id).unwrap_or(current);
                     let b = buckets
                         .iter_mut()
                         .find(|(p, _)| *p == ph)
@@ -217,6 +278,17 @@ impl Trace {
             })
             .collect()
     }
+}
+
+/// Peaks of a trace's live set (see [`Trace::live_set_peak`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveSetPeak {
+    /// Peak simultaneously-live requested bytes.
+    pub bytes: usize,
+    /// Peak simultaneously-live object count — measured as the walk's own
+    /// bookkeeping high-water mark, so it doubles as the proof that the
+    /// walk is O(peak live), not O(total allocs).
+    pub blocks: usize,
 }
 
 /// Incremental, validating trace builder.
@@ -295,6 +367,10 @@ pub fn replay(trace: &Trace, manager: &mut dyn Allocator) -> Result<FootprintSta
 
 /// Like [`replay`], additionally sampling the footprint curve every
 /// `sample_every` events (paper Figure 5).
+///
+/// The final event is always sampled, whatever the period: the curve ends
+/// on the trace's final footprint, and a peak reached by the last event is
+/// never silently dropped from the series.
 pub fn replay_sampled(
     trace: &Trace,
     manager: &mut dyn Allocator,
@@ -313,6 +389,7 @@ fn replay_inner(
         sample_every: s,
         points: Vec::with_capacity(trace.len() / s + 1),
     });
+    let mut last_sampled: Option<usize> = None;
     for (i, ev) in trace.events().iter().enumerate() {
         match ev {
             TraceEvent::Alloc { id, size } => {
@@ -334,7 +411,23 @@ fn replay_inner(
                     requested: s.live_requested,
                     live_block: s.live_block,
                 });
+                last_sampled = Some(i);
             }
+        }
+    }
+    // Terminal sample: whatever the period, the curve must end on the
+    // final event — otherwise a peak reached by the last event (or the
+    // final footprint itself) never appears in the series.
+    if let Some(ts) = series.as_mut() {
+        let last = trace.len().wrapping_sub(1);
+        if !trace.is_empty() && last_sampled != Some(last) {
+            let s = manager.stats();
+            ts.points.push(SeriesPoint {
+                event: last,
+                footprint: s.system,
+                requested: s.live_requested,
+                live_block: s.live_block,
+            });
         }
     }
     let stats = manager.stats().clone();
@@ -474,6 +567,104 @@ mod tests {
         let p1 = &parts.iter().find(|(p, _)| *p == 1).unwrap().1;
         assert_eq!(p1.alloc_count(), 1);
         assert_eq!(p1.free_count(), 1);
+    }
+
+    #[test]
+    fn sampled_replay_always_samples_the_final_event() {
+        // Monotone growth: the peak footprint is reached by the *last*
+        // event, and 10 events with sample_every=4 leaves (len-1)=9 off
+        // the sampling grid — the terminal sample must cover it.
+        let mut b = Trace::builder();
+        for i in 0..10 {
+            b.alloc(100 + i * 50);
+        }
+        let t = b.finish().unwrap();
+        assert_eq!((t.len() - 1) % 4, 1, "last event must be off-grid");
+        let mut m = PolicyAllocator::new(presets::lea_like()).unwrap();
+        let fs = replay_sampled(&t, &mut m, 4).unwrap();
+        let ts = fs.series.as_ref().unwrap();
+        let last = ts.points.last().unwrap();
+        assert_eq!(last.event, t.len() - 1);
+        assert_eq!(last.footprint, fs.final_footprint);
+        assert_eq!(
+            ts.peak(),
+            fs.peak_footprint,
+            "series must see the terminal peak"
+        );
+    }
+
+    #[test]
+    fn sampled_replay_does_not_duplicate_an_on_grid_final_event() {
+        let t = tiny_trace(); // 6 events; (6-1) % 5 == 0 ⇒ already sampled
+        let mut m = PolicyAllocator::new(presets::kingsley_like()).unwrap();
+        let fs = replay_sampled(&t, &mut m, 5).unwrap();
+        let ts = fs.series.unwrap();
+        assert_eq!(ts.points.len(), 2, "events 0 and 5, no duplicate");
+        assert_eq!(ts.points.last().unwrap().event, t.len() - 1);
+    }
+
+    #[test]
+    fn live_set_walk_is_bounded_by_peak_live_not_total_allocs() {
+        // 10 000 allocations but never more than 4 live at once: the
+        // walk's bookkeeping must stay at 4 entries, not grow to 10 000.
+        let mut b = Trace::builder();
+        let mut live = std::collections::VecDeque::new();
+        for i in 0..10_000usize {
+            live.push_back(b.alloc(32 + (i % 7) * 8));
+            if live.len() > 4 {
+                b.free(live.pop_front().unwrap());
+            }
+        }
+        for id in live {
+            b.free(id);
+        }
+        let t = b.finish().unwrap();
+        let peak = t.live_set_peak();
+        // `blocks` is measured as the bookkeeping map's high-water mark:
+        // were dead entries retained (the O(total allocs) regression),
+        // this would report thousands, not 5.
+        assert_eq!(peak.blocks, 5);
+        assert_eq!(peak.bytes, t.peak_live_requested());
+        assert!(peak.bytes < 6 * 80);
+    }
+
+    #[test]
+    fn reentrant_phase_markers_merge_into_owning_buckets() {
+        // The rendering workload's discipline: 0, 1, 0, 1 … — markers
+        // revisit earlier phases, and split_phases merges the segments.
+        let mut b = Trace::builder();
+        b.phase(0);
+        let a = b.alloc(64);
+        b.phase(1);
+        let c = b.alloc(32);
+        b.phase(0); // re-enter
+        let d = b.alloc(16);
+        b.free(d);
+        b.free(a);
+        b.phase(1); // re-enter
+        b.free(c);
+        let t = b.finish().unwrap();
+        assert!(!t.phases_are_monotonic());
+        assert_eq!(t.phases(), vec![0, 1]);
+        let parts = t.split_phases();
+        assert_eq!(parts.len(), 2, "re-entered phases merge, never re-open");
+        let p0 = &parts.iter().find(|(p, _)| *p == 0).unwrap().1;
+        assert_eq!(p0.alloc_count(), 2, "both phase-0 segments in one bucket");
+        assert_eq!(p0.free_count(), 2);
+        let p1 = &parts.iter().find(|(p, _)| *p == 1).unwrap().1;
+        assert_eq!(p1.alloc_count(), 1);
+        assert_eq!(p1.free_count(), 1);
+    }
+
+    #[test]
+    fn monotonic_phase_helper_accepts_one_shot_discipline() {
+        let mut b = Trace::builder();
+        b.phase(0);
+        let a = b.alloc(8);
+        b.phase(0); // repeat of the same phase is still monotonic
+        b.phase(2);
+        b.free(a);
+        assert!(b.finish().unwrap().phases_are_monotonic());
     }
 
     #[test]

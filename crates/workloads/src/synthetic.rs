@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dmm_core::trace::Trace;
+use dmm_core::trace::{Trace, TraceBuilder, TraceShard};
 
 /// `n` allocations of a single `size`, freed FIFO afterwards.
 pub fn uniform(n: usize, size: usize) -> Trace {
@@ -115,6 +115,58 @@ pub fn two_phase(seed: u64, n: usize) -> Trace {
     b.finish().expect("generator produces valid traces")
 }
 
+/// One lifetime-closed churn window written into `b`: ~`events` mixed
+/// alloc/free events followed by a full drain of the survivors.
+///
+/// Both large-trace entry points share this body, so the whole trace of
+/// [`large_churn`] and the shard stream of [`large_churn_shards`] carry
+/// byte-identical size/order behaviour (only object ids differ).
+fn churn_window(rng: &mut StdRng, b: &mut TraceBuilder, events: usize) {
+    let mut live: Vec<u64> = Vec::new();
+    for _ in 0..events {
+        if live.is_empty() || rng.gen_bool(0.58) {
+            live.push(b.alloc(rng.gen_range(16..=1600)));
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            b.free(live.swap_remove(idx));
+        }
+    }
+    for id in live {
+        b.free(id);
+    }
+}
+
+/// A large churn trace of `windows` lifetime-closed windows of
+/// ~`events_per_window` events each, materialised whole. Prefer
+/// [`large_churn_shards`] when the trace would not fit comfortably in
+/// memory — it generates the identical behaviour shard by shard.
+pub fn large_churn(seed: u64, windows: usize, events_per_window: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Trace::builder();
+    for _ in 0..windows.max(1) {
+        churn_window(&mut rng, &mut b, events_per_window);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+/// The same behaviour as [`large_churn`], yielded as a stream of
+/// lifetime-closed [`TraceShard`]s: at no point is more than one window's
+/// events resident, so arbitrarily long traces can be explored on a fixed
+/// memory budget (`Methodology::explore_shard_stream`). Deterministic per
+/// seed, so a second pass over a fresh iterator replays identically.
+pub fn large_churn_shards(
+    seed: u64,
+    windows: usize,
+    events_per_window: usize,
+) -> impl Iterator<Item = TraceShard> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..windows.max(1)).map(move |i| {
+        let mut b = Trace::builder();
+        churn_window(&mut rng, &mut b, events_per_window);
+        TraceShard::closed(i, b.finish().expect("generator produces valid traces"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +215,41 @@ mod tests {
         assert_eq!(t.phases(), vec![0, 1]);
         let parts = t.split_phases();
         assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn large_churn_shards_stream_the_same_behaviour_as_the_whole_trace() {
+        use dmm_core::manager::PolicyAllocator;
+        use dmm_core::space::presets;
+        use dmm_core::trace::{replay, replay_shards_config};
+
+        let whole = large_churn(11, 3, 200);
+        let shards: Vec<TraceShard> = large_churn_shards(11, 3, 200).collect();
+        assert_eq!(shards.len(), 3);
+        let shard_events: usize = shards.iter().map(|s| s.trace.len()).sum();
+        assert_eq!(shard_events, whole.len());
+        assert!(shards.iter().all(|s| s.boundary.is_closed()));
+        // Identical per-window behaviour: the composed replay and the
+        // whole-trace replay agree on the demand peak exactly.
+        let cfg = presets::drr_paper();
+        let whole_fs = replay(&whole, &mut PolicyAllocator::new(cfg.clone()).unwrap()).unwrap();
+        let sharded = replay_shards_config(shards, &cfg).unwrap();
+        assert_eq!(sharded.stats.peak_requested, whole_fs.peak_requested);
+        assert_eq!(sharded.stats.stats.allocs, whole_fs.stats.allocs);
+        // Streaming held at most one window of events resident.
+        assert!(sharded.peak_resident_trace_bytes < whole.resident_bytes());
+    }
+
+    #[test]
+    fn large_churn_shard_stream_is_deterministic_per_seed() {
+        let a: Vec<TraceShard> = large_churn_shards(5, 2, 120).collect();
+        let b: Vec<TraceShard> = large_churn_shards(5, 2, 120).collect();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trace, y.trace, "second pass must replay identically");
+        }
+        let c: Vec<TraceShard> = large_churn_shards(6, 2, 120).collect();
+        assert_ne!(a[0].trace, c[0].trace);
     }
 
     #[test]

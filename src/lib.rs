@@ -62,7 +62,10 @@ pub mod prelude {
     pub use dmm_core::methodology::{exhaustive_best, CompletionStyle, Methodology};
     pub use dmm_core::profile::Profile;
     pub use dmm_core::space::{presets, DmConfig, Params};
-    pub use dmm_core::trace::{replay, replay_sampled, RecordingAllocator, Trace};
+    pub use dmm_core::trace::{
+        replay, replay_sampled, replay_shards, replay_shards_config, shard_trace,
+        RecordingAllocator, Trace, TraceShard,
+    };
     pub use dmm_workloads::{
         case_studies, quick_studies, DrrWorkload, ReconWorkload, RenderWorkload, Workload,
     };

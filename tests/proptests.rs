@@ -29,6 +29,40 @@ fn trace_strategy(max_ops: usize, max_size: usize) -> impl Strategy<Value = Trac
     })
 }
 
+/// Strategy: a two-phase trace — a uniform phase 0 then a variable-size
+/// phase 1, both internally balanced so phase boundaries are clean.
+fn phased_trace_strategy(
+    max_ops_per_phase: usize,
+    max_size: usize,
+) -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(1..=64usize, 1..max_ops_per_phase),
+        proptest::collection::vec((any::<u16>(), 1..=max_size), 1..max_ops_per_phase),
+    )
+        .prop_map(|(uniform, mixed)| {
+            let mut b = Trace::builder();
+            b.phase(0);
+            let ids: Vec<u64> = uniform.iter().map(|&s| b.alloc(s * 8)).collect();
+            for id in ids.into_iter().rev() {
+                b.free(id);
+            }
+            b.phase(1);
+            let mut live: Vec<u64> = Vec::new();
+            for (sel, size) in mixed {
+                if live.is_empty() || sel % 3 != 0 {
+                    live.push(b.alloc(size));
+                } else {
+                    let idx = (sel as usize / 3) % live.len();
+                    b.free(live.swap_remove(idx));
+                }
+            }
+            for id in live {
+                b.free(id);
+            }
+            b.finish().expect("constructed traces are valid")
+        })
+}
+
 /// Every manager under test, freshly constructed.
 fn all_managers() -> Vec<Box<dyn Allocator>> {
     vec![
@@ -234,6 +268,109 @@ proptest! {
         prop_assert_eq!(
             serial.footprint.peak_footprint,
             parallel.footprint.peak_footprint
+        );
+    }
+
+    /// Sharded replay composes per-shard accounting exactly: work counters
+    /// sum to the whole-trace replay's, the composed peak footprint is the
+    /// max over the per-shard replays, and the demand peak never exceeds
+    /// the whole trace's (equality when every boundary is lifetime-closed).
+    #[test]
+    fn sharded_replay_accounting_composes_exactly(trace in trace_strategy(120, 2048)) {
+        let whole = replay(&trace, &mut PolicyAllocator::new(presets::drr_paper()).expect("valid"))
+            .expect("replay");
+        let shards = shard_trace(&trace, 3);
+        let all_closed = shards.iter().all(|s| s.boundary.is_closed());
+        let per_shard_peaks: Vec<usize> = shards
+            .iter()
+            .map(|s| {
+                replay(&s.trace, &mut PolicyAllocator::new(presets::drr_paper()).expect("valid"))
+                    .expect("replay")
+                    .peak_footprint
+            })
+            .collect();
+        let composed = replay_shards_config(shards, &presets::drr_paper()).expect("sharded replay");
+        prop_assert_eq!(composed.stats.events, whole.events);
+        prop_assert_eq!(composed.stats.stats.allocs, whole.stats.allocs);
+        prop_assert_eq!(composed.stats.stats.frees, whole.stats.frees);
+        prop_assert_eq!(
+            composed.stats.peak_footprint,
+            per_shard_peaks.iter().copied().max().unwrap_or(0)
+        );
+        prop_assert!(
+            composed.stats.peak_requested <= whole.peak_requested,
+            "shard demand {} above whole {}",
+            composed.stats.peak_requested, whole.peak_requested
+        );
+        if all_closed {
+            prop_assert_eq!(composed.stats.peak_requested, whole.peak_requested);
+            prop_assert_eq!(composed.max_carried_bytes, 0);
+        } else {
+            prop_assert!(composed.max_carried_bytes > 0);
+        }
+        prop_assert!(
+            composed.peak_resident_trace_bytes <= trace.resident_bytes(),
+            "sharded replay held more than the whole trace"
+        );
+    }
+}
+
+// Exploration-heavy properties run fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharded exploration's merged design replays the whole trace within
+    /// the documented tolerance of whole-trace exploration, on small
+    /// unphased traces.
+    #[test]
+    fn sharded_exploration_tracks_whole_trace_exploration(trace in trace_strategy(70, 1500)) {
+        use dmm::core::methodology::SHARD_MERGE_TOLERANCE;
+        use dmm::core::units::SBRK_GRANULARITY;
+
+        let whole = Methodology::new().explore(&trace).expect("explore");
+        let sharded = Methodology::new().explore_sharded(&trace, 2).expect("sharded");
+        sharded.config.validate().expect("merged config valid");
+        prop_assert_eq!(sharded.merges.len(), 12);
+        prop_assert_eq!(
+            sharded.replays + sharded.cache_hits,
+            sharded.evaluations
+        );
+        let mut m = PolicyAllocator::new(sharded.config.clone()).expect("valid");
+        let merged_on_whole = replay(&trace, &mut m).expect("replay");
+        let bound = (whole.footprint.peak_footprint as f64 * (1.0 + SHARD_MERGE_TOLERANCE))
+            as usize
+            + 2 * SBRK_GRANULARITY;
+        prop_assert!(
+            merged_on_whole.peak_footprint <= bound,
+            "merged design peak {} vs whole-trace design peak {}",
+            merged_on_whole.peak_footprint, whole.footprint.peak_footprint
+        );
+    }
+
+    /// The same agreement holds on phased traces, where sharding is
+    /// phase-aligned — one shard per phase.
+    #[test]
+    fn sharded_exploration_tracks_whole_trace_on_phased_traces(
+        trace in phased_trace_strategy(40, 1024)
+    ) {
+        use dmm::core::methodology::SHARD_MERGE_TOLERANCE;
+        use dmm::core::units::SBRK_GRANULARITY;
+
+        let whole = Methodology::new().explore(&trace).expect("explore");
+        let sharded = Methodology::new().explore_sharded(&trace, 4).expect("sharded");
+        prop_assert_eq!(sharded.shard_count, 2, "phase boundaries win");
+        for s in &sharded.per_shard {
+            prop_assert!(s.phase.is_some());
+        }
+        let mut m = PolicyAllocator::new(sharded.config.clone()).expect("valid");
+        let merged_on_whole = replay(&trace, &mut m).expect("replay");
+        let bound = (whole.footprint.peak_footprint as f64 * (1.0 + SHARD_MERGE_TOLERANCE))
+            as usize
+            + 2 * SBRK_GRANULARITY;
+        prop_assert!(
+            merged_on_whole.peak_footprint <= bound,
+            "merged design peak {} vs whole-trace design peak {}",
+            merged_on_whole.peak_footprint, whole.footprint.peak_footprint
         );
     }
 }
