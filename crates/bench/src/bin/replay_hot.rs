@@ -1,0 +1,53 @@
+//! Replay inner-loop benchmark: classic interpreter vs compiled kernel.
+//!
+//! Measures events/second for [`dmm_core::trace::replay`] (per-event
+//! hashing, dyn dispatch) against [`dmm_core::trace::replay_compiled_with`]
+//! (slot-resolved events, monomorphized, reused scratch) on the paper
+//! workloads plus `synthetic::large_churn`, asserting bit-identical
+//! statistics first, and writes the machine-readable trajectory to
+//! `BENCH_replay.json`.
+//!
+//! Usage: `cargo run -p dmm-bench --release --bin replay_hot
+//! [--quick] [--csv] [--check] [--out=PATH]`
+//!
+//! `--check` exits non-zero if the compiled kernel is not at least as fast
+//! as the classic interpreter on the `large_churn` gate row — the CI
+//! regression tripwire.
+
+fn main() {
+    let opts = dmm_bench::opts::parse();
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_replay.json")
+        .to_string();
+
+    let (table, report) = dmm_bench::replay_hot(opts.quick).expect("replay_hot harness failed");
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_ascii());
+    }
+    std::fs::write(&out, report.to_json()).expect("failed to write the JSON report");
+    eprintln!("wrote {out}");
+
+    if check {
+        let gate = report.gate_row();
+        if gate.speedup < 1.0 {
+            eprintln!(
+                "REGRESSION: compiled replay is slower than classic on {} ({:.0} vs {:.0} ev/s, {:.2}x)",
+                gate.workload,
+                gate.compiled_events_per_sec,
+                gate.classic_events_per_sec,
+                gate.speedup
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check ok: {:.2}x on {} (compiled {:.0} ev/s vs classic {:.0} ev/s)",
+            gate.speedup, gate.workload, gate.compiled_events_per_sec, gate.classic_events_per_sec
+        );
+    }
+}

@@ -28,7 +28,7 @@ use dmm_core::methodology::Methodology;
 use dmm_core::profile::Profile;
 use dmm_core::space::interdep;
 use dmm_core::space::trees::{Category, TreeId};
-use dmm_core::trace::replay;
+use dmm_core::trace::{replay_compiled, CompiledTrace};
 use dmm_report::{Cell, Table};
 use dmm_workloads::{DrrWorkload, ReconWorkload, RenderWorkload, Workload};
 
@@ -375,10 +375,13 @@ pub fn compare_text(inv: &Invocation) -> Result<String> {
             "ours improves by".into(),
         ],
     );
+    // One compilation serves every comparator's replay: frees are already
+    // slot-resolved, so each row pays no per-event id hashing.
+    let compiled = CompiledTrace::compile(&trace);
     let mut results = Vec::new();
     for m in managers.iter_mut() {
-        let fs = replay(&trace, m.as_mut())?;
-        results.push((fs.manager.clone(), fs.peak_footprint));
+        let fs = replay_compiled(&compiled, m.as_mut())?;
+        results.push((fs.manager.to_string(), fs.peak_footprint));
     }
     let ours = results.last().expect("non-empty").1;
     for (name, peak) in &results {

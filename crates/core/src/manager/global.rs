@@ -38,7 +38,9 @@ use crate::space::config::DmConfig;
 /// ```
 #[derive(Debug)]
 pub struct GlobalManager {
-    name: String,
+    /// Interned composition name (stamped into replay statistics without
+    /// allocating — see [`Allocator::name_shared`]).
+    name: std::sync::Arc<str>,
     managers: Vec<PolicyAllocator>,
     phase_map: Option<std::collections::HashMap<u32, usize>>,
     current: usize,
@@ -66,7 +68,7 @@ impl GlobalManager {
             .map(PolicyAllocator::new)
             .collect::<Result<Vec<_>>>()?;
         let mut g = GlobalManager {
-            name: name.into(),
+            name: std::sync::Arc::from(name.into().as_str()),
             managers,
             phase_map: None,
             current: 0,
@@ -156,6 +158,10 @@ impl GlobalManager {
 impl Allocator for GlobalManager {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn name_shared(&self) -> std::sync::Arc<str> {
+        self.name.clone()
     }
 
     fn alloc(&mut self, req: usize) -> Result<BlockHandle> {

@@ -34,7 +34,7 @@ impl BlockHandle {
     /// Intended for [`Allocator`] *implementors* (the baseline crates mint
     /// handles too); applications should only pass around handles returned
     /// by [`Allocator::alloc`].
-    pub fn new(offset: usize, region: u32) -> Self {
+    pub const fn new(offset: usize, region: u32) -> Self {
         BlockHandle { offset, region }
     }
 
@@ -58,6 +58,18 @@ impl BlockHandle {
 pub trait Allocator: std::fmt::Debug {
     /// Human-readable manager name (appears in tables).
     fn name(&self) -> &str;
+
+    /// The manager name as a shared, cheaply clonable string — what replay
+    /// stamps into every [`crate::metrics::FootprintStats`].
+    ///
+    /// The default allocates a fresh `Arc` per call; managers on the
+    /// exploration hot path ([`PolicyAllocator`], [`GlobalManager`])
+    /// override it with an interned name cached at construction, so the
+    /// thousands of replays of one `explore` call allocate no label
+    /// strings at all.
+    fn name_shared(&self) -> std::sync::Arc<str> {
+        std::sync::Arc::from(self.name())
+    }
 
     /// Allocate `req` payload bytes.
     ///

@@ -40,12 +40,19 @@ use crate::units::{align_up, MIN_ALIGN, MIN_BLOCK, SBRK_GRANULARITY};
 #[derive(Debug)]
 pub struct PolicyAllocator {
     cfg: DmConfig,
+    /// Interned copy of `cfg.name`, stamped into replay statistics without
+    /// allocating (see [`Allocator::name_shared`]).
+    name_arc: std::sync::Arc<str>,
     tag_bytes: usize,
     arena: Arena,
     blocks: BlockMap,
     pools: Pools,
     stats: AllocStats,
     coalesce_dirty: bool,
+    /// Reusable buffer for the current free run of [`PolicyAllocator::sweep_coalesce`]
+    /// — bounded by the longest run of adjacent free blocks, reused across
+    /// sweeps so a deferred-coalescing manager allocates nothing per pass.
+    sweep_run: Vec<Block>,
 }
 
 impl PolicyAllocator {
@@ -63,12 +70,14 @@ impl PolicyAllocator {
         };
         let pools = Pools::new(&cfg);
         let mut m = PolicyAllocator {
+            name_arc: std::sync::Arc::from(cfg.name.as_str()),
             tag_bytes: cfg.tag_bytes_per_block(),
             arena,
             blocks: BlockMap::new(),
             pools,
             stats: AllocStats::default(),
             coalesce_dirty: false,
+            sweep_run: Vec::new(),
             cfg,
         };
         m.sync_system();
@@ -338,58 +347,64 @@ impl PolicyAllocator {
 
     /// Deferred whole-heap coalescing sweep (D2 = deferred): walk the tiling
     /// in address order and merge adjacent free runs, honouring the D1 cap.
+    ///
+    /// The walk runs **in place**: only the free run currently being
+    /// gathered is buffered (in the reusable `sweep_run` scratch), never a
+    /// snapshot of the whole heap — a sweep over a mostly-used heap copies
+    /// nothing. Runs are disjoint and each merge replaces exactly its own
+    /// members, so mutating behind the cursor cannot disturb the blocks
+    /// still ahead of it; charges and ordering are identical to a
+    /// snapshot-then-merge sweep.
     fn sweep_coalesce(&mut self, steps: &mut u64) {
-        let snapshot: Vec<Block> = self.blocks.iter().copied().collect();
-        *steps += snapshot.len() as u64;
+        *steps += self.blocks.len() as u64;
         let cap = match self.cfg.coalesce_max {
             CoalesceMaxSizes::Unlimited => usize::MAX,
             CoalesceMaxSizes::Capped => self.cfg.params.coalesce_cap,
         };
-        let mut run: Vec<Block> = Vec::new();
-        let mut run_len = 0usize;
-        let mut merges: Vec<(usize, usize, Vec<Block>)> = Vec::new();
-        let mut flush = |run: &mut Vec<Block>, run_len: &mut usize| {
+        // Take the scratch so the walk can borrow `self.blocks` freely.
+        let mut run = std::mem::take(&mut self.sweep_run);
+        let mut cursor = self.blocks.iter().next().map(|b| b.span.offset);
+        while let Some(at) = cursor {
+            let blk = *self.blocks.get(at).expect("cursor block must exist");
+            if !blk.is_free() {
+                cursor = self.blocks.next_of(at).map(|b| b.span.offset);
+                continue;
+            }
+            // Gather the free run starting here. The tiling makes every
+            // next block physically adjacent; only the D1 cap ends a run
+            // early.
+            run.clear();
+            run.push(blk);
+            let mut run_len = blk.span.len;
+            let mut tail = at;
+            while let Some(next) = self.blocks.next_of(tail).copied() {
+                if !next.is_free() || run_len + next.span.len > cap {
+                    break;
+                }
+                run_len += next.span.len;
+                tail = next.span.offset;
+                run.push(next);
+            }
+            // Resume after the run — recorded before the merge rewrites it.
+            cursor = self.blocks.next_of(tail).map(|b| b.span.offset);
             if run.len() > 1 {
-                merges.push((run[0].span.offset, *run_len, std::mem::take(run)));
-            } else {
-                run.clear();
-            }
-            *run_len = 0;
-        };
-        for blk in snapshot {
-            let extends = blk.is_free()
-                && run
-                    .last()
-                    .is_some_and(|l: &Block| l.span.end() == blk.span.offset)
-                && run_len + blk.span.len <= cap;
-            if extends {
-                run_len += blk.span.len;
-                run.push(blk);
-            } else {
-                flush(&mut run, &mut run_len);
-                if blk.is_free() {
-                    run_len = blk.span.len;
-                    run.push(blk);
+                for m in &run {
+                    if m.pool != UNINDEXED {
+                        self.pools.index_mut(m.pool).remove(m.span.offset, steps);
+                    }
+                    self.blocks.remove(m.span.offset);
+                    self.stats.coalesces += 1;
                 }
+                self.stats.coalesces -= 1; // n blocks -> n-1 merges
+                let pool = self.pools.route(run_len, steps);
+                self.blocks.insert(Block::free(Span::new(at, run_len), pool));
+                self.pools
+                    .index_mut(pool)
+                    .insert(Span::new(at, run_len), steps);
             }
         }
-        flush(&mut run, &mut run_len);
-
-        for (offset, len, members) in merges {
-            for m in &members {
-                if m.pool != UNINDEXED {
-                    self.pools.index_mut(m.pool).remove(m.span.offset, steps);
-                }
-                self.blocks.remove(m.span.offset);
-                self.stats.coalesces += 1;
-            }
-            self.stats.coalesces -= 1; // n blocks -> n-1 merges
-            let pool = self.pools.route(len, steps);
-            self.blocks.insert(Block::free(Span::new(offset, len), pool));
-            self.pools
-                .index_mut(pool)
-                .insert(Span::new(offset, len), steps);
-        }
+        run.clear();
+        self.sweep_run = run;
         self.coalesce_dirty = false;
     }
 
@@ -487,6 +502,10 @@ impl PolicyAllocator {
 impl Allocator for PolicyAllocator {
     fn name(&self) -> &str {
         &self.cfg.name
+    }
+
+    fn name_shared(&self) -> std::sync::Arc<str> {
+        self.name_arc.clone()
     }
 
     fn alloc(&mut self, req: usize) -> Result<BlockHandle> {
@@ -902,6 +921,30 @@ mod tests {
         );
         m.free(big).unwrap();
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deferred_capped_sweep_merges_runs_up_to_the_cap() {
+        // Exercises the in-place sweep with the D1 cap ending runs early:
+        // a free block that would overflow the running merge must start a
+        // new run of its own, exactly as the snapshot-based sweep did.
+        let mut cfg = presets::lea_like();
+        cfg.coalesce_max = CoalesceMaxSizes::Capped;
+        cfg.params.coalesce_cap = 1024;
+        cfg.params.trim_threshold = None;
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        let hs: Vec<_> = (0..24).map(|_| m.alloc(300).unwrap()).collect();
+        for h in hs {
+            m.free(h).unwrap();
+        }
+        assert_eq!(m.stats().coalesces, 0, "deferred: no merging before a miss");
+        let big = m.alloc(900).unwrap();
+        assert!(m.stats().coalesces > 0, "miss must trigger the sweep");
+        m.free(big).unwrap();
+        m.check_invariants().unwrap();
+        for blk in m.blocks.iter() {
+            assert!(blk.span.len <= 1024, "cap violated: {:?}", blk.span);
+        }
     }
 
     #[test]

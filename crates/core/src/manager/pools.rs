@@ -39,6 +39,13 @@ pub struct Pools {
     /// Ascending class ceilings for `ProfiledClasses` routing.
     profiled: Vec<usize>,
     indexes: Vec<Box<dyn FreeIndex + Send>>,
+    /// Cached [`Pools::static_overhead`]. Every index's
+    /// `control_overhead_bytes` is a constant of its structure, so the sum
+    /// only moves when [`Pools::ensure`] materialises a pool — recomputing
+    /// it per allocation event (the manager syncs its system bytes after
+    /// every operation) was O(pools) of virtual calls on the replay hot
+    /// path.
+    overhead: usize,
 }
 
 impl std::fmt::Debug for Pools {
@@ -61,6 +68,7 @@ impl Pools {
             block_structure: cfg.block_structure,
             profiled: cfg.params.profiled_classes.clone(),
             indexes: Vec::new(),
+            overhead: 0,
         };
         // A single pool exists from the start; per-class pools are created
         // on first use (power-of-two) or up front (profiled).
@@ -78,7 +86,9 @@ impl Pools {
 
     fn ensure(&mut self, pool: usize) {
         while self.indexes.len() <= pool {
-            self.indexes.push(new_index(self.block_structure));
+            let index = new_index(self.block_structure);
+            self.overhead += descriptor_bytes(self.structure) + index.control_overhead_bytes();
+            self.indexes.push(index);
         }
     }
 
@@ -177,12 +187,18 @@ impl Pools {
 
     /// Static control-structure bytes: pool descriptors plus each index's
     /// own anchors — the paper's *assisting data structures* overhead
-    /// (Section 4.1, factor 1b).
+    /// (Section 4.1, factor 1b). O(1): maintained incrementally as pools
+    /// materialise.
     pub fn static_overhead(&self) -> usize {
-        self.indexes
-            .iter()
-            .map(|i| descriptor_bytes(self.structure) + i.control_overhead_bytes())
-            .sum()
+        debug_assert_eq!(
+            self.overhead,
+            self.indexes
+                .iter()
+                .map(|i| descriptor_bytes(self.structure) + i.control_overhead_bytes())
+                .sum::<usize>(),
+            "cached static overhead drifted from the recomputed sum"
+        );
+        self.overhead
     }
 
     /// Drop every indexed span (blocks themselves live in the block map).

@@ -13,15 +13,27 @@
 //! fingerprint, so sharing an engine across portfolio probes, phases,
 //! objective sweeps or repeated designs only ever *adds* cache hits.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::error::Result;
 use crate::manager::PolicyAllocator;
 use crate::methodology::cache::{ReplayCache, TraceKey};
 use crate::metrics::FootprintStats;
 use crate::space::config::DmConfig;
-use crate::trace::{replay, Trace};
+use crate::trace::{replay_compiled_with, CompiledTrace, ReplayScratch, Trace};
+
+thread_local! {
+    /// Per-worker slot table for compiled replay. Workers are the engine's
+    /// scoped threads (plus the calling thread), each of which runs many
+    /// replays back to back during one `explore`; the kernel clears the
+    /// table on entry, so reuse across traces, configs and engines is
+    /// safe — and allocation-free once the table has grown to the largest
+    /// slot count seen.
+    static REPLAY_SCRATCH: RefCell<ReplayScratch> = RefCell::new(ReplayScratch::new());
+}
 
 /// Monotonic counters of one engine's work.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +70,11 @@ pub struct Evaluation {
 pub struct ExplorationEngine {
     jobs: usize,
     cache: ReplayCache,
+    /// Compiled form of every trace this engine has replayed, keyed like
+    /// the replay cache. Compiling is O(n) and hashes each id once; every
+    /// subsequent replay of that trace — hundreds per `explore` — runs the
+    /// hash-free [`replay_compiled_with`] kernel instead.
+    compiled: Mutex<HashMap<TraceKey, Arc<CompiledTrace>>>,
     evaluations: AtomicUsize,
     replays: AtomicUsize,
     cache_hits: AtomicUsize,
@@ -88,6 +105,7 @@ impl ExplorationEngine {
         ExplorationEngine {
             jobs,
             cache: ReplayCache::new(),
+            compiled: Mutex::new(HashMap::new()),
             evaluations: AtomicUsize::new(0),
             replays: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
@@ -162,26 +180,94 @@ impl ExplorationEngine {
         self.evaluate_one(trace, TraceKey::of(trace), cfg)
     }
 
+    /// Like [`ExplorationEngine::evaluate_config`] with a precomputed
+    /// [`TraceKey`], so a caller that also needs the key for its own
+    /// bookkeeping (e.g. to release the compiled trace afterwards)
+    /// fingerprints the trace once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager construction and replay failures.
+    pub fn evaluate_config_keyed(
+        &self,
+        trace: &Trace,
+        key: TraceKey,
+        cfg: &DmConfig,
+    ) -> Result<Evaluation> {
+        self.evaluate_one(trace, key, cfg)
+    }
+
     fn evaluate_one(&self, trace: &Trace, key: TraceKey, cfg: &DmConfig) -> Result<Evaluation> {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         if let Some(mut stats) = self.cache.get_keyed(key, cfg) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             // The cache key ignores names; restore this candidate's label
             // so hit and miss paths are indistinguishable to the caller.
-            stats.manager = cfg.name.clone();
+            // Candidate completions usually inherit the methodology's one
+            // name, so this is normally a comparison, not an allocation.
+            if stats.manager.as_ref() != cfg.name {
+                stats.manager = Arc::from(cfg.name.as_str());
+            }
             return Ok(Evaluation {
                 stats,
                 cache_hit: true,
             });
         }
+        let compiled = self.compiled_for(key, trace);
         let mut mgr = PolicyAllocator::new(cfg.clone())?;
-        let stats = replay(trace, &mut mgr)?;
+        let stats = REPLAY_SCRATCH
+            .with(|s| replay_compiled_with(&compiled, &mut mgr, &mut s.borrow_mut()))?;
         self.replays.fetch_add(1, Ordering::Relaxed);
         self.cache.insert_keyed(key, cfg, stats.clone());
         Ok(Evaluation {
             stats,
             cache_hit: false,
         })
+    }
+
+    /// The compiled form of `trace`, compiling on first sight. Shared by
+    /// every worker; the `Arc` lets a replay run outside the table lock.
+    fn compiled_for(&self, key: TraceKey, trace: &Trace) -> Arc<CompiledTrace> {
+        if let Some(hit) = self
+            .compiled
+            .lock()
+            .expect("compiled-trace table poisoned")
+            .get(&key)
+        {
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock: parallel workers first-touching
+        // *distinct* traces (sharded exploration does) must not serialize
+        // their O(n) compiles behind one mutex. A racing duplicate compile
+        // of the same trace is rare and harmless — the first insert wins.
+        let fresh = Arc::new(CompiledTrace::compile(trace));
+        let mut table = self.compiled.lock().expect("compiled-trace table poisoned");
+        Arc::clone(table.entry(key).or_insert(fresh))
+    }
+
+    /// Number of distinct traces this engine has compiled (diagnostic).
+    pub fn compiled_traces(&self) -> usize {
+        self.compiled.lock().expect("compiled-trace table poisoned").len()
+    }
+
+    /// Forget the compiled form of `trace`. The compiled copy is O(trace)
+    /// bytes, so streaming callers that promise trace memory bounded by
+    /// the largest shard ([`Methodology::explore_shard_stream`](crate::methodology::Methodology::explore_shard_stream))
+    /// release each shard's compilation as soon as they drop the shard —
+    /// otherwise the table would quietly accumulate the whole trace.
+    /// Safe at any time: a later evaluation of the same trace simply
+    /// recompiles.
+    pub fn release_compiled(&self, trace: &Trace) {
+        self.release_compiled_keyed(TraceKey::of(trace));
+    }
+
+    /// Like [`ExplorationEngine::release_compiled`] with a precomputed
+    /// [`TraceKey`], avoiding a second O(n) fingerprint of the trace.
+    pub fn release_compiled_keyed(&self, key: TraceKey) {
+        self.compiled
+            .lock()
+            .expect("compiled-trace table poisoned")
+            .remove(&key);
     }
 
     /// Apply `f` to every item, fanning out over scoped worker threads,
@@ -245,6 +331,8 @@ fn _assert_engine_bounds() {
     send::<PolicyAllocator>();
     send::<Trace>();
     sync::<Trace>();
+    send::<CompiledTrace>();
+    sync::<CompiledTrace>();
     send::<DmConfig>();
     sync::<ExplorationEngine>();
 }
@@ -321,6 +409,43 @@ mod tests {
             matches!(err, crate::error::Error::OutOfMemory { limit: 64, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn worker_scratch_residue_does_not_leak_across_configs() {
+        // An arena-limited config OOMs mid-replay, stranding live handles
+        // in the worker's thread-local slot table. The very next replay on
+        // this thread reuses that table: it must be fully cleared, or a
+        // stale handle would surface as a bogus free in another config's
+        // replay. Compare against a fresh engine to prove nothing leaked.
+        let t = trace();
+        let engine = ExplorationEngine::serial();
+        let mut tight = presets::drr_paper();
+        tight.params.arena_limit = Some(512);
+        assert!(
+            engine.evaluate_all(&t, &[tight]).is_err(),
+            "tight arena must OOM mid-replay"
+        );
+        let reused = engine
+            .evaluate_all(&t, &[presets::lea_like()])
+            .unwrap();
+        let fresh = ExplorationEngine::serial()
+            .evaluate_all(&t, &[presets::lea_like()])
+            .unwrap();
+        assert_eq!(reused[0].stats, fresh[0].stats);
+    }
+
+    #[test]
+    fn engine_compiles_each_trace_exactly_once() {
+        let t = trace();
+        let engine = ExplorationEngine::serial();
+        let _ = engine.evaluate_all(&t, &presets::all()).unwrap();
+        assert_eq!(engine.compiled_traces(), 1);
+        // Re-evaluating (even with fresh configs) reuses the compilation.
+        let mut renamed = presets::drr_paper();
+        renamed.name = "renamed".into();
+        let _ = engine.evaluate_all(&t, &[renamed]).unwrap();
+        assert_eq!(engine.compiled_traces(), 1);
     }
 
     #[test]

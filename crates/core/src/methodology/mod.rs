@@ -616,7 +616,13 @@ impl Methodology {
             format!("{} [global]", self.name),
             phase_configs.clone(),
         )?;
-        let footprint = replay(trace, &mut global)?;
+        // One composed replay over the full trace: compile once and run
+        // the monomorphized kernel (the per-phase engine caches only hold
+        // the sub-traces).
+        let footprint = crate::trace::replay_compiled(
+            &crate::trace::CompiledTrace::compile(trace),
+            &mut global,
+        )?;
         Ok(PhasedOutcome {
             phase_configs,
             footprint,
@@ -707,6 +713,10 @@ impl Methodology {
             let outcome = self
                 .shard_methodology(&shard)
                 .explore_with_engine(&shard.trace, engine)?;
+            // The engine compiled this shard for its replays; release the
+            // O(shard) compiled copy along with the shard itself, or the
+            // engine's table would quietly accumulate the whole trace.
+            engine.release_compiled(&shard.trace);
             per_shard.push(ShardOutcome {
                 index: shard.index,
                 phase: shard.phase,
@@ -826,7 +836,12 @@ impl Methodology {
         for shard in shards {
             peak_resident = peak_resident.max(shard.trace.resident_bytes());
             max_carried = max_carried.max(shard.boundary.carried_bytes);
-            let eval = engine.evaluate_config(&shard.trace, &config)?;
+            // One fingerprint serves both the evaluation and the release.
+            let key = cache::TraceKey::of(&shard.trace);
+            let eval = engine.evaluate_config_keyed(&shard.trace, key, &config)?;
+            // Keep the streaming bound: drop the compiled copy (if this
+            // evaluation missed the cache and compiled) with the shard.
+            engine.release_compiled_keyed(key);
             evaluations += 1;
             if eval.cache_hit {
                 cache_hits += 1;
@@ -1372,6 +1387,23 @@ mod tests {
         assert_eq!(a.shard_count, b.shard_count);
         assert_eq!(a.merges, b.merges);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn shard_stream_releases_compiled_shards_as_it_goes() {
+        // The streaming path's contract is trace memory bounded by the
+        // largest shard; the engine's compiled-trace table must not
+        // quietly retain an O(shard) compiled copy per explored shard.
+        let t = windowed_trace(3, 100);
+        let engine = ExplorationEngine::serial();
+        let _ = Methodology::new()
+            .explore_shard_stream(|| crate::trace::shard_trace(&t, 3), &engine)
+            .unwrap();
+        assert_eq!(
+            engine.compiled_traces(),
+            0,
+            "every shard's compilation must be released with the shard"
+        );
     }
 
     #[test]

@@ -215,8 +215,12 @@ impl TimeSeries {
 /// Summary of replaying one trace against one manager.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FootprintStats {
-    /// Name of the manager that was measured.
-    pub manager: String,
+    /// Name of the manager that was measured — interned
+    /// ([`std::sync::Arc`]), so the replay hot path stamps it with a
+    /// reference-count bump instead of a fresh `String` allocation
+    /// (managers cache theirs; see
+    /// [`Allocator::name_shared`](crate::manager::Allocator::name_shared)).
+    pub manager: std::sync::Arc<str>,
     /// Peak bytes reserved from the system — Table 1's metric.
     pub peak_footprint: usize,
     /// Bytes still reserved after the last event.
@@ -395,7 +399,7 @@ mod tests {
             series: None,
         };
         first.absorb_shard(&second);
-        assert_eq!(first.manager, "m");
+        assert_eq!(first.manager.as_ref(), "m");
         assert_eq!(first.peak_footprint, 5000);
         assert_eq!(first.final_footprint, 128);
         assert_eq!(first.peak_requested, 3500);

@@ -6,9 +6,14 @@
 //! measure the footprint that manager *would* have had — identical inputs
 //! for every comparator, exactly like the paper's 10-simulation averages.
 
+pub mod compiled;
 mod record;
 pub mod shard;
 
+pub use compiled::{
+    replay_compiled, replay_compiled_sampled, replay_compiled_with, CompiledTrace,
+    ReplayScratch,
+};
 pub use record::RecordingAllocator;
 pub use shard::{
     replay_shards, replay_shards_config, shard_trace, BoundarySummary, ShardedReplay,
@@ -57,10 +62,27 @@ pub enum TraceEvent {
 /// A validated allocation trace.
 ///
 /// Construct with [`Trace::builder`] or by recording a workload through
-/// [`RecordingAllocator`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// [`RecordingAllocator`]. Every construction path validates — including
+/// deserialization, which routes through [`Trace::from_events`] — so a
+/// `Trace` in hand always satisfies the alloc/free discipline (consumers
+/// like [`CompiledTrace::compile`] rely on it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+}
+
+// Manual deserialization so a trace loaded from JSON cannot bypass
+// `from_events` validation (a dangling free in hand-edited input must
+// surface here, not as a panic deep inside a replay consumer).
+impl serde::Deserialize for Trace {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::msg("expected map for Trace"))?;
+        let events: Vec<TraceEvent> = serde::Deserialize::from_value(serde::field(map, "events")?)?;
+        Trace::from_events(events)
+            .map_err(|e| serde::DeError::msg(format!("invalid trace: {e}")))
+    }
 }
 
 impl Trace {
@@ -357,6 +379,12 @@ impl TraceBuilder {
 
 /// Replay a trace against a manager, returning footprint statistics.
 ///
+/// This is the classic interpreter: it matches every `Free { id }` to its
+/// handle through a per-replay hash map. Replay loops that score one trace
+/// against many configurations should compile the trace once and use the
+/// [`replay_compiled`] kernel instead — bit-identical statistics, no
+/// per-event hashing.
+///
 /// # Errors
 ///
 /// Propagates manager errors ([`Error::OutOfMemory`]) and trace/manager
@@ -432,7 +460,7 @@ fn replay_inner(
     }
     let stats = manager.stats().clone();
     Ok(FootprintStats {
-        manager: manager.name().to_string(),
+        manager: manager.name_shared(),
         peak_footprint: stats.peak_footprint,
         final_footprint: stats.system,
         peak_requested: stats.peak_requested,
@@ -673,5 +701,31 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn deserialization_validates_the_event_discipline() {
+        // A hand-edited JSON trace with a dangling free must error at
+        // deserialization time — it may never reach consumers that rely
+        // on `Trace` validity (the compiled-replay pass in particular).
+        let json = r#"{"events": [{"Free": {"id": 7}}]}"#;
+        assert!(serde_json::from_str::<Trace>(json).is_err());
+        let json = r#"{"events": [{"Alloc": {"id": 1, "size": 8}}, {"Alloc": {"id": 1, "size": 8}}]}"#;
+        assert!(serde_json::from_str::<Trace>(json).is_err());
+    }
+
+    #[test]
+    fn replay_interns_the_manager_name() {
+        // Thousands of replays per explore: the label must come from the
+        // manager's cached Arc (a refcount bump), not a fresh String.
+        let t = tiny_trace();
+        let mut m = PolicyAllocator::new(presets::drr_paper()).unwrap();
+        let a = replay(&t, &mut m).unwrap();
+        m.reset();
+        let b = replay(&t, &mut m).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a.manager, &b.manager),
+            "manager name must be interned, not re-allocated per replay"
+        );
     }
 }

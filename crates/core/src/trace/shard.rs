@@ -27,7 +27,8 @@ use crate::manager::{Allocator, PolicyAllocator};
 use crate::metrics::FootprintStats;
 use crate::space::config::DmConfig;
 
-use super::{replay, Trace, TraceEvent};
+use super::compiled::{replay_compiled_with, CompiledTrace, ReplayScratch};
+use super::{Trace, TraceEvent};
 
 /// Live memory crossing a shard's entry boundary: objects allocated by an
 /// earlier shard (or another phase) that are still live when this shard's
@@ -286,6 +287,16 @@ pub struct ShardedReplay {
 /// `make`, composing the per-shard statistics. Shards are consumed one at
 /// a time: memory is bounded by the largest shard, never the whole trace.
 ///
+/// Each shard is compiled ([`CompiledTrace`]) and replayed through the
+/// monomorphized kernel. All shards share the parent replay's one slot
+/// table: shard *i*'s slots occupy the range `0..slot_count(i)` of a
+/// [`ReplayScratch`] that persists across the stream (cleared between
+/// shards, grown once to the largest shard's slot count), so the replay
+/// loop itself does no per-event hashing. The id hashing moves into each
+/// shard's one-time compile pass — a wash for this single-replay path,
+/// and the compiled shard is dropped with the shard, preserving the
+/// largest-shard memory bound.
+///
 /// For lifetime-closed shards the composed `peak_requested` equals the
 /// whole-trace value exactly; `peak_footprint` is the max over fresh
 /// per-shard replays, which tracks the whole-trace peak to within
@@ -305,11 +316,14 @@ where
     let mut shard_count = 0usize;
     let mut peak_resident = 0usize;
     let mut max_carried = 0usize;
+    // The parent slot table every compiled shard replays through.
+    let mut scratch = ReplayScratch::new();
     for shard in shards {
         peak_resident = peak_resident.max(shard.resident_bytes());
         max_carried = max_carried.max(shard.boundary.carried_bytes);
+        let compiled = CompiledTrace::compile(&shard.trace);
         let mut mgr = make()?;
-        let fs = replay(&shard.trace, &mut mgr)?;
+        let fs = replay_compiled_with(&compiled, &mut mgr, &mut scratch)?;
         match composed.as_mut() {
             None => composed = Some(fs),
             Some(c) => c.absorb_shard(&fs),
@@ -340,6 +354,7 @@ where
 mod tests {
     use super::*;
     use crate::space::presets;
+    use crate::trace::replay;
 
     /// Churny unphased trace with natural live==0 points sprinkled in.
     fn churn_trace(windows: usize, per_window: usize) -> Trace {

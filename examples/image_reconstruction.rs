@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for m in managers.iter_mut() {
         let fs = replay(&trace, m.as_mut())?;
-        results.push((fs.manager.clone(), fs.peak_footprint));
+        results.push((fs.manager.to_string(), fs.peak_footprint));
     }
     println!("\npeak footprint on the recorded trace:");
     for (name, peak) in &results {

@@ -231,6 +231,22 @@ impl Serialize for str {
     }
 }
 
+// Mirrors serde's `rc` feature for the one shared-string type the
+// workspace serializes (interned manager names).
+impl Serialize for std::sync::Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| DeError::msg(format!("expected string, got {v:?}")))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

@@ -374,3 +374,142 @@ proptest! {
         );
     }
 }
+
+/// Strategy: a re-entrant-phase trace — segments alternate `0, 1, 0, 1…`
+/// (the rendering discipline), each segment allocating and freeing its own
+/// objects, with some objects deliberately freed a segment later.
+fn reentrant_phase_strategy(
+    max_segments: usize,
+    max_size: usize,
+) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<u16>(), 1..=max_size), 1..12),
+        2..max_segments.max(3),
+    )
+    .prop_map(|segments| {
+        let mut b = Trace::builder();
+        let mut carried: Vec<u64> = Vec::new();
+        for (i, ops) in segments.iter().enumerate() {
+            b.phase((i % 2) as u32);
+            // Free what the previous segment left over first.
+            for id in carried.drain(..) {
+                b.free(id);
+            }
+            let mut live: Vec<u64> = Vec::new();
+            for (sel, size) in ops {
+                if live.is_empty() || sel % 3 != 0 {
+                    live.push(b.alloc(*size));
+                } else {
+                    let idx = (*sel as usize / 3) % live.len();
+                    b.free(live.swap_remove(idx));
+                }
+            }
+            // Carry up to two survivors into the next segment.
+            carried = live.split_off(live.len().saturating_sub(2));
+            for id in live {
+                b.free(id);
+            }
+        }
+        for id in carried {
+            b.free(id);
+        }
+        b.finish().expect("constructed traces are valid")
+    })
+}
+
+// Compiled replay must be indistinguishable from the classic interpreter.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `replay_compiled == replay` bit for bit — stats, peaks, counters —
+    /// for every manager in the zoo, on flat traces, through one reused
+    /// scratch table.
+    #[test]
+    fn compiled_replay_matches_classic_for_all_managers(trace in trace_strategy(100, 2048)) {
+        let compiled = CompiledTrace::compile(&trace);
+        let mut scratch = ReplayScratch::new();
+        for (mut classic_mgr, mut compiled_mgr) in all_managers().into_iter().zip(all_managers()) {
+            let classic = replay(&trace, classic_mgr.as_mut()).expect("classic replay");
+            let fast = replay_compiled_with(&compiled, compiled_mgr.as_mut(), &mut scratch)
+                .expect("compiled replay");
+            prop_assert_eq!(classic, fast);
+        }
+    }
+
+    /// Bit-identity holds on phased traces, both for a phase-ignoring
+    /// atomic manager and for a global manager that routes on the markers.
+    #[test]
+    fn compiled_replay_matches_classic_on_phased_traces(
+        trace in phased_trace_strategy(40, 2048)
+    ) {
+        let compiled = CompiledTrace::compile(&trace);
+        let classic = replay(&trace, &mut PolicyAllocator::new(presets::drr_paper()).expect("valid"))
+            .expect("classic replay");
+        let fast = replay_compiled(&compiled, &mut PolicyAllocator::new(presets::drr_paper()).expect("valid"))
+            .expect("compiled replay");
+        prop_assert_eq!(classic, fast);
+
+        let make_global = || GlobalManager::new(
+            "proptest global",
+            vec![presets::drr_paper(), presets::kingsley_like()],
+        ).expect("valid composition");
+        let classic = replay(&trace, &mut make_global()).expect("classic replay");
+        let fast = replay_compiled(&compiled, &mut make_global()).expect("compiled replay");
+        prop_assert_eq!(classic, fast);
+    }
+
+    /// Bit-identity holds on re-entrant-phase traces (`0, 1, 0, 1…`), the
+    /// discipline that stresses slot recycling across phase boundaries.
+    #[test]
+    fn compiled_replay_matches_classic_on_reentrant_phases(
+        trace in reentrant_phase_strategy(8, 1024)
+    ) {
+        let compiled = CompiledTrace::compile(&trace);
+        let make_global = || GlobalManager::new(
+            "proptest global",
+            vec![presets::lea_like(), presets::kingsley_like()],
+        ).expect("valid composition");
+        let classic = replay(&trace, &mut make_global()).expect("classic replay");
+        let fast = replay_compiled(&compiled, &mut make_global()).expect("compiled replay");
+        prop_assert_eq!(classic, fast);
+    }
+
+    /// Sampled series agree point for point, whatever the period.
+    #[test]
+    fn compiled_sampled_series_matches_classic(
+        trace in trace_strategy(80, 1024),
+        every in 1usize..16,
+    ) {
+        let compiled = CompiledTrace::compile(&trace);
+        let classic = replay_sampled(
+            &trace,
+            &mut PolicyAllocator::new(presets::lea_like()).expect("valid"),
+            every,
+        ).expect("classic replay");
+        let fast = replay_compiled_sampled(
+            &compiled,
+            &mut PolicyAllocator::new(presets::lea_like()).expect("valid"),
+            every,
+        ).expect("compiled replay");
+        prop_assert_eq!(classic, fast);
+    }
+
+    /// Sharded composition through the compiled path (what
+    /// `replay_shards` runs, sharing one slot table across shards) equals
+    /// the manual classic composition of the same shards.
+    #[test]
+    fn compiled_sharded_composition_matches_classic(trace in trace_strategy(120, 2048)) {
+        let shards = shard_trace(&trace, 3);
+        let mut manual: Option<dmm::core::metrics::FootprintStats> = None;
+        for s in &shards {
+            let fs = replay(&s.trace, &mut PolicyAllocator::new(presets::drr_paper()).expect("valid"))
+                .expect("classic replay");
+            match manual.as_mut() {
+                None => manual = Some(fs),
+                Some(acc) => acc.absorb_shard(&fs),
+            }
+        }
+        let composed = replay_shards_config(shards, &presets::drr_paper()).expect("sharded replay");
+        prop_assert_eq!(Some(composed.stats), manual);
+    }
+}
