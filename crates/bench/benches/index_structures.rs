@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dmm_core::heap::block::Span;
 use dmm_core::heap::index::new_index;
+use dmm_core::heap::tiling::BlockRef;
 use dmm_core::space::trees::{BlockStructure, FitAlgorithm};
 
 fn index_ops(c: &mut Criterion) {
@@ -17,14 +18,18 @@ fn index_ops(c: &mut Criterion) {
                 let mut idx = new_index(structure);
                 let mut steps = 0u64;
                 for i in 0..512usize {
-                    idx.insert(Span::new(i * 128, 16 + (i % 31) * 8), &mut steps);
+                    idx.insert(
+                        Span::new(i * 128, 16 + (i % 31) * 8),
+                        BlockRef::from_index(i as u32),
+                        &mut steps,
+                    );
                 }
                 let mut found = 0usize;
                 for i in 0..512usize {
-                    if let Some(s) = idx.find(FitAlgorithm::BestFit, 16 + (i % 29) * 8, &mut steps)
+                    if let Some(f) = idx.find(FitAlgorithm::BestFit, 16 + (i % 29) * 8, &mut steps)
                     {
-                        idx.remove(s.offset, &mut steps);
-                        idx.insert(s, &mut steps);
+                        idx.remove(f.token, f.span, &mut steps);
+                        idx.insert(f.span, f.block, &mut steps);
                         found += 1;
                     }
                 }

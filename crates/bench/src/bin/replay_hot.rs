@@ -10,9 +10,16 @@
 //! Usage: `cargo run -p dmm-bench --release --bin replay_hot
 //! [--quick] [--csv] [--check] [--out=PATH]`
 //!
-//! `--check` exits non-zero if the compiled kernel is not at least as fast
-//! as the classic interpreter on the `large_churn` gate row — the CI
-//! regression tripwire.
+//! `--check` is the CI regression tripwire; it exits non-zero when either
+//! gate fails:
+//!
+//! 1. **interpreter gate** — the compiled kernel must be at least as fast
+//!    as the classic interpreter on the `large_churn` nop row;
+//! 2. **manager-bound gate** — the end-to-end DRR-manager row must be at
+//!    least 1.3× the committed PR 4 baseline (normalised by the same
+//!    run's nop row, so machine speed cancels — see
+//!    `dmm_bench::Pr4Baseline`). This is the boundary-tag tiling's
+//!    speedup staying regression-guarded.
 
 fn main() {
     let opts = dmm_bench::opts::parse();
@@ -46,8 +53,26 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "check ok: {:.2}x on {} (compiled {:.0} ev/s vs classic {:.0} ev/s)",
+            "interpreter gate ok: {:.2}x on {} (compiled {:.0} ev/s vs classic {:.0} ev/s)",
             gate.speedup, gate.workload, gate.compiled_events_per_sec, gate.classic_events_per_sec
+        );
+
+        // Manager-bound gate: the boundary-tag tiling must stay >= 1.3x
+        // the committed PR 4 manager simulation on the gate workload.
+        const MANAGER_GATE: f64 = 1.3;
+        let mgr = report.manager_gate_row();
+        let speedup = report.manager_bound_speedup_vs_pr4;
+        if speedup < MANAGER_GATE {
+            eprintln!(
+                "REGRESSION: manager-bound replay on {} x {} is only {:.2}x the PR 4 baseline \
+                 (gate {MANAGER_GATE}x; {:.0} ev/s now, normalised by the nop row)",
+                mgr.workload, mgr.manager, speedup, mgr.compiled_events_per_sec
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "manager-bound gate ok: {:.2}x the PR 4 baseline on {} x {} ({:.0} ev/s end-to-end)",
+            speedup, mgr.workload, mgr.manager, mgr.compiled_events_per_sec
         );
     }
 }

@@ -1,10 +1,12 @@
-//! Block spans and the authoritative block map.
+//! Block spans and the classic offset-keyed block map.
 //!
 //! Every byte the arena has handed out belongs to exactly one [`Block`],
-//! free or used — the *tiling invariant*. The [`BlockMap`] is the
-//! simulation's ground truth; the policy layer may only exploit the
-//! navigation a real manager could afford (e.g. finding a physical
-//! neighbour is charged differently depending on the tag decisions).
+//! free or used — the *tiling invariant*. [`BlockMap`] was the
+//! simulation's ground truth through PR 4; the policy layer now runs on
+//! the O(1) boundary-tag [`Tiling`](crate::heap::tiling::Tiling) instead,
+//! and this `BTreeMap`-backed map remains as (a) the **debug-only shadow
+//! oracle** the tiling cross-checks every block sequence against and
+//! (b) the block table of the independently hand-rolled Lea baseline.
 
 use std::collections::BTreeMap;
 

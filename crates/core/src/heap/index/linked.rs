@@ -7,11 +7,34 @@
 //! linked list unlinks in O(1) — which is exactly why immediate coalescing
 //! wants it (paper Section 5: "the most simple DDT that allows coalescing
 //! and splitting, i.e. double linked list").
+//!
+//! # Memoised walk distances
+//!
+//! The slab keeps a size-keyed side table (`size_index`: per-size length
+//! counters plus LIFO position stacks, invalidated on every insert/remove)
+//! that lets it *compute* the step count of any walk whose charge does not
+//! depend on a hit's position in link order:
+//!
+//! - every **miss** (no node satisfies the fit) is a full-list scan —
+//!   charge `len` in one add, return `None` without touching a node;
+//! - **best fit without an exact hit** and **worst fit** always scan the
+//!   whole list — charge `len`, resolve the winning node from the size
+//!   table (the first fitting node in link order is the most recently
+//!   inserted live node of the winning size, which is the top of that
+//!   size's stack);
+//! - an **exact-fit hit** charges the position of the first exact node, so
+//!   it walks — but the distance is memoised and reused until the next
+//!   insert/remove invalidates it.
+//!
+//! First/next-fit hits and singly-linked unlinks charge genuine positions
+//! and still walk: that is the modelled cost, not an implementation
+//! artefact. All charges are bit-identical to the faithful walks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::heap::block::Span;
-use crate::heap::index::FreeIndex;
+use crate::heap::index::{Found, FreeIndex};
+use crate::heap::tiling::BlockRef;
 use crate::space::trees::FitAlgorithm;
 use crate::units::POINTER_BYTES;
 
@@ -20,8 +43,33 @@ const NIL: usize = usize::MAX;
 #[derive(Debug, Clone)]
 struct Node {
     span: Span,
+    block: BlockRef,
+    /// Unique push stamp: identifies this node across slot recycling.
+    seq: u64,
     prev: usize,
     next: usize,
+    present: bool,
+}
+
+/// Per-size bookkeeping: how many live nodes have this exact size, and a
+/// LIFO stack of `(slot, seq)` push records. Stale records (their node was
+/// unlinked, or the slot recycled) are dropped lazily when the stack is
+/// consulted; the top valid record is always the most recently inserted
+/// live node of this size — exactly the first one a head-to-tail walk
+/// meets, because `push_front` keeps the list in reverse insertion order.
+#[derive(Debug, Clone, Default)]
+struct SizeBucket {
+    count: usize,
+    stack: Vec<(usize, u64)>,
+}
+
+/// Memo of one exact-fit walk: valid while `generation` is unchanged.
+#[derive(Debug, Clone, Copy)]
+struct ExactMemo {
+    generation: u64,
+    len: usize,
+    slot: usize,
+    dist: u64,
 }
 
 /// Slab-backed intrusive list shared by both linked variants.
@@ -36,10 +84,17 @@ struct Node {
 struct LinkedSlab {
     nodes: Vec<Node>,
     free_slots: Vec<usize>,
-    by_offset: HashMap<usize, usize>,
     head: usize,
     len: usize,
     cursor: usize,
+    /// Monotonic push stamp source.
+    seq: u64,
+    /// Bumped on every insert/remove; invalidates position memos.
+    generation: u64,
+    /// Live sizes → count + LIFO stack. Buckets are removed when their
+    /// count reaches zero, so `range` queries only ever see live sizes.
+    size_index: BTreeMap<usize, SizeBucket>,
+    exact_memo: Option<ExactMemo>,
 }
 
 impl Default for LinkedSlab {
@@ -53,18 +108,26 @@ impl LinkedSlab {
         LinkedSlab {
             nodes: Vec::new(),
             free_slots: Vec::new(),
-            by_offset: HashMap::new(),
             head: NIL,
             len: 0,
             cursor: NIL,
+            seq: 0,
+            generation: 0,
+            size_index: BTreeMap::new(),
+            exact_memo: None,
         }
     }
 
-    fn push_front(&mut self, span: Span) {
+    fn push_front(&mut self, span: Span, block: BlockRef) -> usize {
+        self.seq += 1;
+        self.generation += 1;
         let node = Node {
             span,
+            block,
+            seq: self.seq,
             prev: NIL,
             next: self.head,
+            present: true,
         };
         let slot = match self.free_slots.pop() {
             Some(s) => {
@@ -87,9 +150,19 @@ impl LinkedSlab {
             self.nodes[self.head].prev = slot;
         }
         self.head = slot;
-        let dup = self.by_offset.insert(span.offset, slot);
-        debug_assert!(dup.is_none(), "duplicate span at offset {}", span.offset);
         self.len += 1;
+        let bucket = self.size_index.entry(span.len).or_default();
+        bucket.count += 1;
+        bucket.stack.push((slot, self.seq));
+        // Bound stale records: compact (order-preserving) when the stack
+        // outgrows its live population.
+        if bucket.stack.len() > 8 && bucket.stack.len() > 2 * bucket.count {
+            let nodes = &self.nodes;
+            bucket
+                .stack
+                .retain(|&(s, q)| nodes[s].present && nodes[s].seq == q);
+        }
+        slot
     }
 
     fn unlink(&mut self, slot: usize) -> Span {
@@ -97,6 +170,7 @@ impl LinkedSlab {
             let n = &self.nodes[slot];
             (n.prev, n.next, n.span)
         };
+        self.generation += 1;
         if self.cursor == slot {
             self.cursor = next;
         }
@@ -108,9 +182,18 @@ impl LinkedSlab {
         if next != NIL {
             self.nodes[next].prev = prev;
         }
-        self.by_offset.remove(&span.offset);
+        self.nodes[slot].present = false;
         self.free_slots.push(slot);
         self.len -= 1;
+        let bucket = self
+            .size_index
+            .get_mut(&span.len)
+            .expect("unlinked node's size must be counted");
+        bucket.count -= 1;
+        if bucket.count == 0 {
+            // Dropping the bucket drops its (now entirely stale) stack.
+            self.size_index.remove(&span.len);
+        }
         span
     }
 
@@ -125,6 +208,61 @@ impl LinkedSlab {
         dist + 1
     }
 
+    /// The most recently inserted live node of exactly `size` — the first
+    /// such node a head-to-tail walk meets. O(1) amortised (lazy stack
+    /// cleanup).
+    fn newest_of_size(&mut self, size: usize) -> Option<usize> {
+        let bucket = self.size_index.get_mut(&size)?;
+        debug_assert!(bucket.count > 0);
+        while let Some(&(slot, seq)) = bucket.stack.last() {
+            if self.nodes[slot].present && self.nodes[slot].seq == seq {
+                return Some(slot);
+            }
+            bucket.stack.pop();
+        }
+        unreachable!("bucket with live count has a live stack record");
+    }
+
+    /// Smallest live size `>= len`, if any.
+    fn best_size_at_least(&self, len: usize) -> Option<usize> {
+        self.size_index.range(len..).next().map(|(&s, _)| s)
+    }
+
+    /// Largest live size, if any.
+    fn max_size(&self) -> Option<usize> {
+        self.size_index.keys().next_back().copied()
+    }
+
+    /// Walk to the first node of exactly `len`, charging one step per node
+    /// visited (the faithful exact-fit walk), with the distance memoised
+    /// until the next insert/remove. Caller guarantees such a node exists.
+    fn exact_walk(&mut self, len: usize, steps: &mut u64) -> usize {
+        if let Some(m) = self.exact_memo {
+            if m.generation == self.generation && m.len == len {
+                debug_assert!(self.nodes[m.slot].present && self.nodes[m.slot].span.len == len);
+                *steps += m.dist;
+                return m.slot;
+            }
+        }
+        let mut cur = self.head;
+        let mut dist = 0u64;
+        loop {
+            debug_assert_ne!(cur, NIL, "exact_walk requires a present size");
+            dist += 1;
+            if self.nodes[cur].span.len == len {
+                self.exact_memo = Some(ExactMemo {
+                    generation: self.generation,
+                    len,
+                    slot: cur,
+                    dist,
+                });
+                *steps += dist;
+                return cur;
+            }
+            cur = self.nodes[cur].next;
+        }
+    }
+
     fn iter(&self) -> LinkedIter<'_> {
         LinkedIter {
             slab: self,
@@ -135,10 +273,21 @@ impl LinkedSlab {
     fn clear(&mut self) {
         self.nodes.clear();
         self.free_slots.clear();
-        self.by_offset.clear();
         self.head = NIL;
         self.len = 0;
         self.cursor = NIL;
+        self.generation += 1;
+        self.size_index.clear();
+        self.exact_memo = None;
+    }
+
+    fn found(&self, slot: usize) -> Found {
+        let n = &self.nodes[slot];
+        Found {
+            span: n.span,
+            block: n.block,
+            token: slot,
+        }
     }
 }
 
@@ -161,17 +310,26 @@ impl Iterator for LinkedIter<'_> {
     }
 }
 
-/// Generic fit search over the list's link order.
-fn search(
-    slab: &LinkedSlab,
-    fit: FitAlgorithm,
-    len: usize,
-    start: usize,
-    steps: &mut u64,
-) -> Option<usize> {
+/// Generic fit search over the list's link order. Charges are bit-identical
+/// to the faithful node-by-node walks (see the module docs for which cases
+/// are computed rather than iterated).
+fn search(slab: &mut LinkedSlab, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<usize> {
     match fit {
         FitAlgorithm::FirstFit | FitAlgorithm::NextFit => {
-            // NextFit: first pass from `start`, then wrap to the head.
+            // Miss fast path. A next-fit miss visits every node exactly
+            // once whatever the cursor (cursor→tail, then head→cursor).
+            // A first-fit walk, however, terminates early at a parked
+            // next-fit cursor (`wrapped && cur == start` below), so its
+            // miss charge is only the full scan when no cursor is parked
+            // — with one parked, fall through to the faithful walk.
+            if slab.best_size_at_least(len).is_none()
+                && (fit == FitAlgorithm::NextFit || slab.cursor == NIL)
+            {
+                *steps += slab.len as u64;
+                return None;
+            }
+            let start = slab.cursor;
+            // NextFit: first pass from the cursor, then wrap to the head.
             let mut cur = if fit == FitAlgorithm::NextFit && start != NIL {
                 start
             } else {
@@ -201,36 +359,33 @@ fn search(
             }
         }
         FitAlgorithm::BestFit => {
-            let mut best: Option<(usize, usize)> = None;
-            for (slot, span) in slab.iter() {
-                *steps += 1;
-                if span.len >= len && best.is_none_or(|(_, bl)| span.len < bl) {
-                    best = Some((slot, span.len));
-                    if span.len == len {
-                        break; // cannot do better than exact
-                    }
-                }
+            // With an exact-size node present the faithful walk stops at
+            // the first one (cannot do better than exact): identical to
+            // the exact-fit walk, memo included.
+            if slab.size_index.contains_key(&len) {
+                return Some(slab.exact_walk(len, steps));
             }
-            best.map(|(s, _)| s)
+            // No exact node: the walk visits every node, and the winner is
+            // the first node of the smallest fitting size in link order —
+            // the most recent insertion of that size.
+            *steps += slab.len as u64;
+            let best = slab.best_size_at_least(len)?;
+            Some(slab.newest_of_size(best).expect("live size has a node"))
         }
         FitAlgorithm::WorstFit => {
-            let mut worst: Option<(usize, usize)> = None;
-            for (slot, span) in slab.iter() {
-                *steps += 1;
-                if span.len >= len && worst.is_none_or(|(_, wl)| span.len > wl) {
-                    worst = Some((slot, span.len));
-                }
-            }
-            worst.map(|(s, _)| s)
+            // The walk always visits every node; the winner is the first
+            // node of the largest size in link order.
+            *steps += slab.len as u64;
+            let max = slab.max_size().filter(|&m| m >= len)?;
+            Some(slab.newest_of_size(max).expect("live size has a node"))
         }
         FitAlgorithm::ExactFit => {
-            for (slot, span) in slab.iter() {
-                *steps += 1;
-                if span.len == len {
-                    return Some(slot);
-                }
+            if !slab.size_index.contains_key(&len) {
+                // Miss: a full scan found nothing.
+                *steps += slab.len as u64;
+                return None;
             }
-            None
+            Some(slab.exact_walk(len, steps))
         }
     }
 }
@@ -251,24 +406,29 @@ impl SllIndex {
 }
 
 impl FreeIndex for SllIndex {
-    fn insert(&mut self, span: Span, steps: &mut u64) {
+    fn insert(&mut self, span: Span, block: BlockRef, steps: &mut u64) -> usize {
         *steps += 1; // head insert
-        self.slab.push_front(span);
+        self.slab.push_front(span, block)
     }
 
-    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
-        let slot = *self.slab.by_offset.get(&offset)?;
+    fn remove(&mut self, token: usize, span: Span, steps: &mut u64) -> Option<BlockRef> {
+        let node = self.slab.nodes.get(token)?;
+        if !node.present || node.span != span {
+            return None; // stale token: entry already removed or slot reused
+        }
+        let block = node.block;
         // A singly linked list must walk to the predecessor to unlink.
-        *steps += self.slab.walk_distance(slot);
-        Some(self.slab.unlink(slot))
+        *steps += self.slab.walk_distance(token);
+        self.slab.unlink(token);
+        Some(block)
     }
 
-    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
-        let slot = search(&self.slab, fit, len, self.slab.cursor, steps)?;
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found> {
+        let slot = search(&mut self.slab, fit, len, steps)?;
         if fit == FitAlgorithm::NextFit {
             self.slab.cursor = self.slab.nodes[slot].next;
         }
-        Some(self.slab.nodes[slot].span)
+        Some(self.slab.found(slot))
     }
 
     fn len(&self) -> usize {
@@ -304,23 +464,28 @@ impl DllIndex {
 }
 
 impl FreeIndex for DllIndex {
-    fn insert(&mut self, span: Span, steps: &mut u64) {
+    fn insert(&mut self, span: Span, block: BlockRef, steps: &mut u64) -> usize {
         *steps += 1;
-        self.slab.push_front(span);
+        self.slab.push_front(span, block)
     }
 
-    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
-        let slot = *self.slab.by_offset.get(&offset)?;
+    fn remove(&mut self, token: usize, span: Span, steps: &mut u64) -> Option<BlockRef> {
+        let node = self.slab.nodes.get(token)?;
+        if !node.present || node.span != span {
+            return None; // stale token: entry already removed or slot reused
+        }
+        let block = node.block;
         *steps += 1; // O(1) unlink thanks to the back pointer
-        Some(self.slab.unlink(slot))
+        self.slab.unlink(token);
+        Some(block)
     }
 
-    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
-        let slot = search(&self.slab, fit, len, self.slab.cursor, steps)?;
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found> {
+        let slot = search(&mut self.slab, fit, len, steps)?;
         if fit == FitAlgorithm::NextFit {
             self.slab.cursor = self.slab.nodes[slot].next;
         }
-        Some(self.slab.nodes[slot].span)
+        Some(self.slab.found(slot))
     }
 
     fn len(&self) -> usize {
@@ -344,20 +509,32 @@ impl FreeIndex for DllIndex {
 mod tests {
     use super::*;
 
+    fn bref(offset: usize) -> BlockRef {
+        BlockRef::from_index((offset / 8) as u32)
+    }
+
     #[test]
     fn sll_remove_charges_walk_dll_does_not() {
         let mut sll = SllIndex::new();
         let mut dll = DllIndex::new();
         let mut s = 0u64;
+        let mut sll_t0 = 0;
+        let mut dll_t0 = 0;
         for i in 0..10 {
-            sll.insert(Span::new(i * 32, 32), &mut s);
-            dll.insert(Span::new(i * 32, 32), &mut s);
+            let t = sll.insert(Span::new(i * 32, 32), bref(i * 32), &mut s);
+            if i == 0 {
+                sll_t0 = t;
+            }
+            let t = dll.insert(Span::new(i * 32, 32), bref(i * 32), &mut s);
+            if i == 0 {
+                dll_t0 = t;
+            }
         }
         // Offset 0 was inserted first => it is at the tail (distance 10).
         let mut sll_steps = 0u64;
-        sll.remove(0, &mut sll_steps).unwrap();
+        sll.remove(sll_t0, Span::new(0, 32), &mut sll_steps).unwrap();
         let mut dll_steps = 0u64;
-        dll.remove(0, &mut dll_steps).unwrap();
+        dll.remove(dll_t0, Span::new(0, 32), &mut dll_steps).unwrap();
         assert!(sll_steps >= 10, "SLL unlink must walk: {sll_steps}");
         assert_eq!(dll_steps, 1, "DLL unlink is O(1)");
     }
@@ -366,10 +543,10 @@ mod tests {
     fn lifo_order_drives_first_fit() {
         let mut idx = DllIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(0, 64), &mut s);
-        idx.insert(Span::new(64, 128), &mut s); // most recent => head
+        idx.insert(Span::new(0, 64), bref(0), &mut s);
+        idx.insert(Span::new(64, 128), bref(64), &mut s); // most recent => head
         let found = idx.find(FitAlgorithm::FirstFit, 32, &mut s).unwrap();
-        assert_eq!(found.offset, 64, "first fit sees the most recent insert");
+        assert_eq!(found.span.offset, 64, "first fit sees the most recent insert");
     }
 
     #[test]
@@ -377,24 +554,30 @@ mod tests {
         let mut idx = DllIndex::new();
         let mut s = 0u64;
         for i in 0..4 {
-            idx.insert(Span::new(i * 64, 64), &mut s);
+            idx.insert(Span::new(i * 64, 64), bref(i * 64), &mut s);
         }
         // Head order is offsets 192,128,64,0.
         let a = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
         let b = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
-        assert_ne!(a.offset, b.offset, "next fit advances past its last hit");
+        assert_ne!(a.span.offset, b.span.offset, "next fit advances past its last hit");
     }
 
     #[test]
     fn next_fit_wraps_around() {
         let mut idx = SllIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(0, 32), &mut s);
-        idx.insert(Span::new(32, 256), &mut s);
+        idx.insert(Span::new(0, 32), bref(0), &mut s);
+        idx.insert(Span::new(32, 256), bref(32), &mut s);
         // First call lands on the 256 block (head), cursor moves past it.
-        assert_eq!(idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().offset, 32);
+        assert_eq!(
+            idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().span.offset,
+            32
+        );
         // Only the 256 block fits 100; next fit must wrap to find it again.
-        assert_eq!(idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().offset, 32);
+        assert_eq!(
+            idx.find(FitAlgorithm::NextFit, 100, &mut s).unwrap().span.offset,
+            32
+        );
     }
 
     #[test]
@@ -410,24 +593,28 @@ mod tests {
         ] {
             let mut idx = mk();
             let mut s = 0u64;
+            let mut tokens = std::collections::HashMap::new();
             for i in 0..4 {
-                idx.insert(Span::new(i * 64, 64), &mut s);
+                let t = idx.insert(Span::new(i * 64, 64), bref(i * 64), &mut s);
+                tokens.insert(i * 64, t);
             }
             // Park the cursor mid-list.
             let hit = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
             // Unlink a *different* node than the cursor's, then reuse its
             // slot for a fresh span.
-            let victim = (hit.offset + 128) % 256;
-            idx.remove(victim, &mut s).unwrap();
-            idx.insert(Span::new(1024, 64), &mut s);
+            let victim = (hit.span.offset + 128) % 256;
+            idx.remove(tokens[&victim], Span::new(victim, 64), &mut s)
+                .unwrap();
+            idx.insert(Span::new(1024, 64), bref(1024), &mut s);
             let mut seen = std::collections::HashSet::new();
             for _ in 0..16 {
                 let f = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
                 assert!(
-                    idx.spans().contains(&f),
-                    "cursor produced a phantom span {f:?}"
+                    idx.spans().contains(&f.span),
+                    "cursor produced a phantom span {:?}",
+                    f.span
                 );
-                seen.insert(f.offset);
+                seen.insert(f.span.offset);
             }
             assert_eq!(
                 seen.len(),
@@ -442,12 +629,156 @@ mod tests {
         let mut idx = DllIndex::new();
         let mut s = 0u64;
         for i in 0..3 {
-            idx.insert(Span::new(i * 64, 64), &mut s);
+            idx.insert(Span::new(i * 64, 64), bref(i * 64), &mut s);
         }
         let hit = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
-        idx.remove(hit.offset, &mut s).unwrap();
+        idx.remove(hit.token, hit.span, &mut s).unwrap();
         // Cursor pointed into the removed node's neighbourhood; the next
         // search must still terminate and find something.
         assert!(idx.find(FitAlgorithm::NextFit, 64, &mut s).is_some());
+    }
+
+    /// The memoised fast paths must charge and answer exactly what the
+    /// faithful walk would: cross-check every fit against a reference
+    /// walk on a churned list.
+    #[test]
+    fn memoised_search_matches_reference_walk() {
+        #[derive(Clone)]
+        struct RefList(Vec<Span>); // head first
+        impl RefList {
+            fn search(&self, fit: FitAlgorithm, len: usize) -> (Option<Span>, u64) {
+                let mut steps = 0u64;
+                match fit {
+                    FitAlgorithm::FirstFit => {
+                        for s in &self.0 {
+                            steps += 1;
+                            if s.len >= len {
+                                return (Some(*s), steps);
+                            }
+                        }
+                        (None, steps)
+                    }
+                    FitAlgorithm::BestFit => {
+                        let mut best: Option<Span> = None;
+                        for s in &self.0 {
+                            steps += 1;
+                            if s.len >= len && best.is_none_or(|b| s.len < b.len) {
+                                best = Some(*s);
+                                if s.len == len {
+                                    break;
+                                }
+                            }
+                        }
+                        (best, steps)
+                    }
+                    FitAlgorithm::WorstFit => {
+                        let mut worst: Option<Span> = None;
+                        for s in &self.0 {
+                            steps += 1;
+                            if s.len >= len && worst.is_none_or(|w| s.len > w.len) {
+                                worst = Some(*s);
+                            }
+                        }
+                        (worst, steps)
+                    }
+                    FitAlgorithm::ExactFit => {
+                        for s in &self.0 {
+                            steps += 1;
+                            if s.len == len {
+                                return (Some(*s), steps);
+                            }
+                        }
+                        (None, steps)
+                    }
+                    FitAlgorithm::NextFit => unreachable!("cursor handled separately"),
+                }
+            }
+        }
+
+        let mut idx = DllIndex::new();
+        let mut reference = RefList(Vec::new());
+        let mut tokens: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut s = 0u64;
+        let mut x: u64 = 0x1234_5678_9ABC_DEF1;
+        let mut next_off = 0usize;
+        for _ in 0..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if reference.0.len() < 3 || !x.is_multiple_of(3) {
+                let span = Span::new(next_off, 16 + (x % 9) as usize * 8);
+                next_off += 4096;
+                let t = idx.insert(span, bref(span.offset), &mut s);
+                tokens.insert(span.offset, t);
+                reference.0.insert(0, span);
+            } else {
+                let i = (x as usize / 5) % reference.0.len();
+                let span = reference.0.remove(i);
+                idx.remove(tokens.remove(&span.offset).unwrap(), span, &mut s)
+                    .unwrap();
+            }
+            // Probe every non-roving fit at several sizes, comparing both
+            // the answer and the charge to the reference walk.
+            for fit in [
+                FitAlgorithm::FirstFit,
+                FitAlgorithm::BestFit,
+                FitAlgorithm::WorstFit,
+                FitAlgorithm::ExactFit,
+            ] {
+                for len in [16, 40, 48, 64, 88, 512] {
+                    let (want, want_steps) = reference.search(fit, len);
+                    let mut got_steps = 0u64;
+                    let got = idx.find(fit, len, &mut got_steps);
+                    assert_eq!(got.map(|f| f.span), want, "{fit:?}/{len}");
+                    assert_eq!(got_steps, want_steps, "{fit:?}/{len} charge diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_miss_with_a_parked_cursor_charges_the_faithful_early_stop() {
+        // The faithful first-fit walk terminates at a parked next-fit
+        // cursor, so its miss charge is the distance to the cursor, not a
+        // full scan — the fast path must not fire in that state. (This is
+        // the PR 4 behaviour for mixed NextFit-then-FirstFit searches on
+        // one slab, e.g. the segregated larger-class fallback.)
+        let mut idx = DllIndex::new();
+        let mut s = 0u64;
+        for i in 0..4 {
+            idx.insert(Span::new(i * 64, 64), bref(i * 64), &mut s);
+        }
+        // Park the cursor one past the head (head order: 192,128,64,0).
+        let hit = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
+        assert_eq!(hit.span.offset, 192, "next fit starts at the head");
+        // Nothing fits 4096: the faithful walk charges head→cursor only.
+        let mut miss = 0u64;
+        assert!(idx.find(FitAlgorithm::FirstFit, 4096, &mut miss).is_none());
+        assert_eq!(miss, 1, "first-fit miss must stop at the parked cursor");
+        // A next-fit miss still visits every node exactly once.
+        let mut nf_miss = 0u64;
+        assert!(idx.find(FitAlgorithm::NextFit, 4096, &mut nf_miss).is_none());
+        assert_eq!(nf_miss, 4, "next-fit miss is one full cycle");
+    }
+
+    #[test]
+    fn exact_memo_reuses_the_walk_distance() {
+        let mut idx = DllIndex::new();
+        let mut s = 0u64;
+        for i in 0..8 {
+            idx.insert(Span::new(i * 64, 16 + (i % 4) * 16), bref(i * 64), &mut s);
+        }
+        let mut first = 0u64;
+        let a = idx.find(FitAlgorithm::ExactFit, 48, &mut first).unwrap();
+        let mut second = 0u64;
+        let b = idx.find(FitAlgorithm::ExactFit, 48, &mut second).unwrap();
+        assert_eq!(a, b, "memo must return the same node");
+        assert_eq!(first, second, "memoised charge must equal the walked one");
+        // Any mutation invalidates the memo; the re-walk still agrees.
+        idx.insert(Span::new(4096, 48), bref(4096), &mut s);
+        let mut third = 0u64;
+        let c = idx.find(FitAlgorithm::ExactFit, 48, &mut third).unwrap();
+        assert_eq!(c.span.offset, 4096, "fresh insert is the new first hit");
+        assert_eq!(third, 1, "new head is one step away");
     }
 }

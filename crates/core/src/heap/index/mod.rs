@@ -6,6 +6,25 @@
 //! its real algorithmic cost on the modelled target, so the performance
 //! consequences of the A1 decision are measurable as well as the footprint
 //! ones.
+//!
+//! # Handles, tokens and memoised walks
+//!
+//! Since the boundary-tag refactor the indexes speak the handle language
+//! of the [`Tiling`](crate::heap::tiling::Tiling): every entry records the
+//! [`BlockRef`] of the block it indexes, [`FreeIndex::insert`] returns an
+//! opaque *token* the caller stores in that block, and
+//! [`FreeIndex::remove`] takes the token (plus the span, which the caller
+//! always has in hand) — there are **no** offset→node side lookups left in
+//! any index.
+//!
+//! The simulated cost model is unchanged and bit-identical to the faithful
+//! node-by-node walks: where an index can *compute* what a walk would have
+//! charged — an exact-fit miss is always a full-list scan, best/worst fit
+//! without an exact hit always visit every node — it charges that step
+//! count in one add and resolves the result from per-list length counters
+//! and size-keyed position memos instead of iterating. Walks whose charge
+//! depends on a node's position in link order (a first-fit hit, a
+//! singly-linked unlink) still walk, because that *is* the modelled cost.
 
 mod linked;
 mod ordered;
@@ -14,21 +33,37 @@ pub use linked::{DllIndex, SllIndex};
 pub use ordered::{AddrIndex, SizeTreeIndex};
 
 use crate::heap::block::Span;
+use crate::heap::tiling::BlockRef;
 use crate::space::trees::{BlockStructure, FitAlgorithm};
+
+/// A located free block: where it is, which tiling block backs it, and the
+/// index-internal token that unlinks it without any lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Found {
+    /// The span of the located block.
+    pub span: Span,
+    /// The tiling block the entry indexes.
+    pub block: BlockRef,
+    /// Token to pass to [`FreeIndex::remove`].
+    pub token: usize,
+}
 
 /// Common interface of all free-block indexes.
 ///
 /// Implementations must tolerate any interleaving of operations; `steps`
 /// accumulates the abstract unit-cost of each operation.
 pub trait FreeIndex: std::fmt::Debug {
-    /// Add a free span.
-    fn insert(&mut self, span: Span, steps: &mut u64);
+    /// Add a free span backed by tiling block `block`. Returns the token
+    /// that removes this entry in O(1); the caller stores it in the block.
+    fn insert(&mut self, span: Span, block: BlockRef, steps: &mut u64) -> usize;
 
-    /// Remove the span starting at `offset`; returns it if present.
-    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span>;
+    /// Remove the entry `token`/`span` name; returns the backing block if
+    /// the entry was present. A stale token (entry already removed, or
+    /// token recycled for a different span) returns `None`.
+    fn remove(&mut self, token: usize, span: Span, steps: &mut u64) -> Option<BlockRef>;
 
     /// Locate (without removing) a span satisfying `fit` for `len` bytes.
-    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span>;
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found>;
 
     /// Number of indexed spans.
     fn len(&self) -> usize;
@@ -63,6 +98,7 @@ mod contract_tests {
     //! Behavioural contract every index implementation must satisfy.
 
     use super::*;
+    use std::collections::HashMap;
 
     fn all_indexes() -> Vec<(BlockStructure, Box<dyn FreeIndex + Send>)> {
         BlockStructure::ALL
@@ -71,27 +107,56 @@ mod contract_tests {
             .collect()
     }
 
+    /// Test stand-in for tiling refs: offset / 8 (distinct per span).
+    fn bref(offset: usize) -> BlockRef {
+        BlockRef::from_index((offset / 8) as u32)
+    }
+
     #[test]
     fn insert_find_remove_round_trip() {
         for (kind, mut idx) in all_indexes() {
             let mut steps = 0u64;
-            idx.insert(Span::new(0, 64), &mut steps);
-            idx.insert(Span::new(64, 128), &mut steps);
-            idx.insert(Span::new(192, 32), &mut steps);
+            idx.insert(Span::new(0, 64), bref(0), &mut steps);
+            let t64 = idx.insert(Span::new(64, 128), bref(64), &mut steps);
+            idx.insert(Span::new(192, 32), bref(192), &mut steps);
             assert_eq!(idx.len(), 3, "{kind:?}");
 
             for fit in FitAlgorithm::ALL {
                 let found = idx.find(fit, 32, &mut steps);
-                let span = found.unwrap_or_else(|| panic!("{kind:?}/{fit:?} found nothing"));
-                assert!(span.len >= 32, "{kind:?}/{fit:?} returned too-small span");
+                let f = found.unwrap_or_else(|| panic!("{kind:?}/{fit:?} found nothing"));
+                assert!(f.span.len >= 32, "{kind:?}/{fit:?} returned too-small span");
             }
 
-            assert_eq!(idx.remove(64, &mut steps), Some(Span::new(64, 128)));
-            assert_eq!(idx.remove(64, &mut steps), None, "{kind:?} double remove");
+            assert_eq!(
+                idx.remove(t64, Span::new(64, 128), &mut steps),
+                Some(bref(64)),
+                "{kind:?}"
+            );
+            assert_eq!(
+                idx.remove(t64, Span::new(64, 128), &mut steps),
+                None,
+                "{kind:?} double remove"
+            );
             assert_eq!(idx.len(), 2);
             idx.clear();
             assert!(idx.is_empty());
             assert!(idx.find(FitAlgorithm::FirstFit, 1, &mut steps).is_none());
+        }
+    }
+
+    #[test]
+    fn find_reports_the_backing_block_and_a_removing_token() {
+        for (kind, mut idx) in all_indexes() {
+            let mut steps = 0u64;
+            idx.insert(Span::new(0, 64), bref(0), &mut steps);
+            idx.insert(Span::new(64, 96), bref(64), &mut steps);
+            let f = idx.find(FitAlgorithm::BestFit, 80, &mut steps).unwrap();
+            assert_eq!(f.span, Span::new(64, 96), "{kind:?}");
+            assert_eq!(f.block, bref(64), "{kind:?}");
+            // The reported token removes exactly that entry.
+            assert_eq!(idx.remove(f.token, f.span, &mut steps), Some(bref(64)));
+            assert_eq!(idx.len(), 1, "{kind:?}");
+            assert!(idx.find(FitAlgorithm::BestFit, 80, &mut steps).is_none());
         }
     }
 
@@ -101,25 +166,25 @@ mod contract_tests {
             let mut steps = 0u64;
             let sizes = [48usize, 256, 96, 64, 512, 64];
             for (i, &len) in sizes.iter().enumerate() {
-                idx.insert(Span::new(i * 1024, len), &mut steps);
+                idx.insert(Span::new(i * 1024, len), bref(i * 1024), &mut steps);
             }
             let need = 64;
 
             let best = idx.find(FitAlgorithm::BestFit, need, &mut steps).unwrap();
-            assert_eq!(best.len, 64, "{kind:?} best fit must be tightest");
+            assert_eq!(best.span.len, 64, "{kind:?} best fit must be tightest");
 
             let worst = idx.find(FitAlgorithm::WorstFit, need, &mut steps).unwrap();
-            assert_eq!(worst.len, 512, "{kind:?} worst fit must be largest");
+            assert_eq!(worst.span.len, 512, "{kind:?} worst fit must be largest");
 
             let exact = idx.find(FitAlgorithm::ExactFit, need, &mut steps).unwrap();
-            assert_eq!(exact.len, 64, "{kind:?} exact fit must match exactly");
+            assert_eq!(exact.span.len, 64, "{kind:?} exact fit must match exactly");
             assert!(
                 idx.find(FitAlgorithm::ExactFit, 100, &mut steps).is_none(),
                 "{kind:?} exact fit must miss absent sizes"
             );
 
             let first = idx.find(FitAlgorithm::FirstFit, need, &mut steps).unwrap();
-            assert!(first.len >= need);
+            assert!(first.span.len >= need);
 
             // Requests larger than everything must miss for every fit.
             for fit in FitAlgorithm::ALL {
@@ -138,7 +203,7 @@ mod contract_tests {
             let mut expect = Vec::new();
             for i in 0..16 {
                 let span = Span::new(i * 100, 16 + i);
-                idx.insert(span, &mut steps);
+                idx.insert(span, bref(i * 104), &mut steps);
                 expect.push(span);
             }
             let mut got = idx.spans();
@@ -152,13 +217,13 @@ mod contract_tests {
     fn steps_always_advance() {
         for (kind, mut idx) in all_indexes() {
             let mut steps = 0u64;
-            idx.insert(Span::new(0, 64), &mut steps);
+            let token = idx.insert(Span::new(0, 64), bref(0), &mut steps);
             assert!(steps > 0, "{kind:?} insert charged nothing");
             let before = steps;
             idx.find(FitAlgorithm::FirstFit, 16, &mut steps);
             assert!(steps > before, "{kind:?} find charged nothing");
             let before = steps;
-            idx.remove(0, &mut steps);
+            idx.remove(token, Span::new(0, 64), &mut steps);
             assert!(steps > before, "{kind:?} remove charged nothing");
         }
     }
@@ -170,17 +235,77 @@ mod contract_tests {
         for (kind, mut idx) in all_indexes() {
             let mut steps = 0u64;
             for i in 0..8 {
-                idx.insert(Span::new(i * 64, 64), &mut steps);
+                idx.insert(Span::new(i * 64, 64), bref(i * 64), &mut steps);
             }
             let mut seen = std::collections::HashSet::new();
             for _ in 0..32 {
-                let s = idx.find(FitAlgorithm::NextFit, 64, &mut steps).unwrap();
-                seen.insert(s.offset);
+                let f = idx.find(FitAlgorithm::NextFit, 64, &mut steps).unwrap();
+                seen.insert(f.span.offset);
             }
-            assert!(
-                seen.len() >= 2,
-                "{kind:?} next fit never roved: {seen:?}"
-            );
+            assert!(seen.len() >= 2, "{kind:?} next fit never roved: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn misses_charge_exactly_one_full_walk() {
+        // The memoised fast paths must charge what the faithful walk
+        // charged: a fit that cannot be satisfied visits every node once.
+        for (kind, mut idx) in all_indexes() {
+            if matches!(kind, BlockStructure::SizeOrderedTree) {
+                continue; // logarithmic by design, not walk-charged
+            }
+            let mut steps = 0u64;
+            for i in 0..10 {
+                idx.insert(Span::new(i * 64, 32 + (i % 3) * 16), bref(i * 64), &mut steps);
+            }
+            for fit in [
+                FitAlgorithm::FirstFit,
+                FitAlgorithm::NextFit,
+                FitAlgorithm::BestFit,
+                FitAlgorithm::WorstFit,
+                FitAlgorithm::ExactFit,
+            ] {
+                let mut walk = 0u64;
+                assert!(idx.find(fit, 4096, &mut walk).is_none(), "{kind:?}/{fit:?}");
+                assert_eq!(walk, 10, "{kind:?}/{fit:?} miss must charge the full walk");
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_stay_valid_under_churn() {
+        // Tokens returned by insert keep removing the right entry across
+        // arbitrary interleavings (slot recycling included).
+        for (kind, mut idx) in all_indexes() {
+            let mut steps = 0u64;
+            let mut live: HashMap<usize, (usize, Span)> = HashMap::new();
+            let mut x: u64 = 0xDEADBEEFCAFEF00D;
+            let mut next_off = 0usize;
+            for _ in 0..400 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if live.len() < 4 || !x.is_multiple_of(3) {
+                    let span = Span::new(next_off, 16 + (x % 7) as usize * 16);
+                    let token = idx.insert(span, bref(next_off), &mut steps);
+                    live.insert(next_off, (token, span));
+                    next_off += 1024;
+                } else {
+                    let &k = live.keys().nth(x as usize % live.len()).unwrap();
+                    let (token, span) = live.remove(&k).unwrap();
+                    assert_eq!(
+                        idx.remove(token, span, &mut steps),
+                        Some(bref(span.offset)),
+                        "{kind:?}: token failed to remove its span"
+                    );
+                }
+            }
+            assert_eq!(idx.len(), live.len(), "{kind:?}");
+            let mut got = idx.spans();
+            got.sort();
+            let mut expect: Vec<Span> = live.values().map(|(_, s)| *s).collect();
+            expect.sort();
+            assert_eq!(got, expect, "{kind:?}");
         }
     }
 }

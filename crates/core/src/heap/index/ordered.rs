@@ -6,13 +6,22 @@
 //! size-ordered tree keys blocks by `(len, offset)` — best/exact fit are
 //! logarithmic, which is why the soft interdependency arrows point best-fit
 //! searchers at it.
+//!
+//! Both indexes key directly on the span the caller hands to
+//! [`FreeIndex::remove`] — the offset→length side lookup the size tree
+//! used to carry is gone — and both store the [`BlockRef`] of the backing
+//! tiling block as their value, so a hit resolves to the block in O(1).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::heap::block::Span;
-use crate::heap::index::FreeIndex;
+use crate::heap::index::{Found, FreeIndex};
+use crate::heap::tiling::BlockRef;
 use crate::space::trees::FitAlgorithm;
 use crate::units::POINTER_BYTES;
+
+/// Ordered indexes need no unlink token — removal keys on the span.
+const NO_TOKEN: usize = 0;
 
 fn log_cost(n: usize) -> u64 {
     (usize::BITS - n.max(1).leading_zeros()) as u64
@@ -21,7 +30,7 @@ fn log_cost(n: usize) -> u64 {
 /// Free list kept sorted by block address.
 #[derive(Debug, Clone, Default)]
 pub struct AddrIndex {
-    by_offset: BTreeMap<usize, usize>,
+    by_offset: BTreeMap<usize, (usize, BlockRef)>,
     cursor: Option<usize>,
 }
 
@@ -33,64 +42,75 @@ impl AddrIndex {
 }
 
 impl FreeIndex for AddrIndex {
-    fn insert(&mut self, span: Span, steps: &mut u64) {
+    fn insert(&mut self, span: Span, block: BlockRef, steps: &mut u64) -> usize {
         *steps += log_cost(self.by_offset.len());
-        let dup = self.by_offset.insert(span.offset, span.len);
+        let dup = self.by_offset.insert(span.offset, (span.len, block));
         debug_assert!(dup.is_none(), "duplicate span at {}", span.offset);
+        NO_TOKEN
     }
 
-    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
+    fn remove(&mut self, _token: usize, span: Span, steps: &mut u64) -> Option<BlockRef> {
         *steps += log_cost(self.by_offset.len());
-        let len = self.by_offset.remove(&offset)?;
-        if self.cursor == Some(offset) {
-            self.cursor = self.by_offset.range(offset..).next().map(|(o, _)| *o);
+        let (len, block) = self.by_offset.remove(&span.offset)?;
+        debug_assert_eq!(len, span.len, "span length disagrees with the index");
+        if self.cursor == Some(span.offset) {
+            self.cursor = self.by_offset.range(span.offset..).next().map(|(o, _)| *o);
         }
-        Some(Span::new(offset, len))
+        Some(block)
     }
 
-    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found> {
+        let hit = |(&o, &(l, b)): (&usize, &(usize, BlockRef))| Found {
+            span: Span::new(o, l),
+            block: b,
+            token: NO_TOKEN,
+        };
         match fit {
             FitAlgorithm::FirstFit => {
-                for (&o, &l) in self.by_offset.iter() {
+                for (o, v) in self.by_offset.iter() {
                     *steps += 1;
-                    if l >= len {
-                        return Some(Span::new(o, l));
+                    if v.0 >= len {
+                        return Some(hit((o, v)));
                     }
                 }
                 None
             }
             FitAlgorithm::NextFit => {
                 let start = self.cursor.unwrap_or(0);
-                let hit = self
+                let found = self
                     .by_offset
                     .range(start..)
-                    .map(|(o, l)| {
+                    .map(|(o, v)| {
                         *steps += 1;
-                        (*o, *l)
+                        (*o, *v)
                     })
-                    .find(|&(_, l)| l >= len)
+                    .find(|&(_, (l, _))| l >= len)
                     .or_else(|| {
                         self.by_offset
                             .range(..start)
-                            .map(|(o, l)| {
+                            .map(|(o, v)| {
                                 *steps += 1;
-                                (*o, *l)
+                                (*o, *v)
                             })
-                            .find(|&(_, l)| l >= len)
+                            .find(|&(_, (l, _))| l >= len)
                     });
-                if let Some((o, l)) = hit {
+                if let Some((o, (l, b))) = found {
                     self.cursor = Some(o + 1);
-                    return Some(Span::new(o, l));
+                    return Some(Found {
+                        span: Span::new(o, l),
+                        block: b,
+                        token: NO_TOKEN,
+                    });
                 }
                 None
             }
             FitAlgorithm::BestFit => {
-                let mut best: Option<Span> = None;
-                for (&o, &l) in self.by_offset.iter() {
+                let mut best: Option<Found> = None;
+                for (o, v) in self.by_offset.iter() {
                     *steps += 1;
-                    if l >= len && best.is_none_or(|b| l < b.len) {
-                        best = Some(Span::new(o, l));
-                        if l == len {
+                    if v.0 >= len && best.is_none_or(|b| v.0 < b.span.len) {
+                        best = Some(hit((o, v)));
+                        if v.0 == len {
                             break;
                         }
                     }
@@ -98,20 +118,20 @@ impl FreeIndex for AddrIndex {
                 best
             }
             FitAlgorithm::WorstFit => {
-                let mut worst: Option<Span> = None;
-                for (&o, &l) in self.by_offset.iter() {
+                let mut worst: Option<Found> = None;
+                for (o, v) in self.by_offset.iter() {
                     *steps += 1;
-                    if l >= len && worst.is_none_or(|w| l > w.len) {
-                        worst = Some(Span::new(o, l));
+                    if v.0 >= len && worst.is_none_or(|w| v.0 > w.span.len) {
+                        worst = Some(hit((o, v)));
                     }
                 }
                 worst
             }
             FitAlgorithm::ExactFit => {
-                for (&o, &l) in self.by_offset.iter() {
+                for (o, v) in self.by_offset.iter() {
                     *steps += 1;
-                    if l == len {
-                        return Some(Span::new(o, l));
+                    if v.0 == len {
+                        return Some(hit((o, v)));
                     }
                 }
                 None
@@ -126,7 +146,7 @@ impl FreeIndex for AddrIndex {
     fn spans(&self) -> Vec<Span> {
         self.by_offset
             .iter()
-            .map(|(&o, &l)| Span::new(o, l))
+            .map(|(&o, &(l, _))| Span::new(o, l))
             .collect()
     }
 
@@ -143,8 +163,7 @@ impl FreeIndex for AddrIndex {
 /// Balanced tree of free blocks keyed by `(len, offset)`.
 #[derive(Debug, Clone, Default)]
 pub struct SizeTreeIndex {
-    by_size: BTreeMap<(usize, usize), ()>,
-    len_of: HashMap<usize, usize>,
+    by_size: BTreeMap<(usize, usize), BlockRef>,
     cursor: Option<(usize, usize)>,
 }
 
@@ -156,38 +175,40 @@ impl SizeTreeIndex {
 }
 
 impl FreeIndex for SizeTreeIndex {
-    fn insert(&mut self, span: Span, steps: &mut u64) {
+    fn insert(&mut self, span: Span, block: BlockRef, steps: &mut u64) -> usize {
         *steps += log_cost(self.by_size.len());
-        self.by_size.insert((span.len, span.offset), ());
-        let dup = self.len_of.insert(span.offset, span.len);
+        let dup = self.by_size.insert((span.len, span.offset), block);
         debug_assert!(dup.is_none(), "duplicate span at {}", span.offset);
+        NO_TOKEN
     }
 
-    fn remove(&mut self, offset: usize, steps: &mut u64) -> Option<Span> {
+    fn remove(&mut self, _token: usize, span: Span, steps: &mut u64) -> Option<BlockRef> {
         *steps += log_cost(self.by_size.len());
-        let len = self.len_of.remove(&offset)?;
-        self.by_size.remove(&(len, offset));
+        let block = self.by_size.remove(&(span.len, span.offset))?;
         // `find` parks the NextFit cursor just *past* the block it
         // returned, i.e. at `(len, offset + 1)` — compare against that
         // stored form. Matching the block's own key `(len, offset)` can
         // never fire, so the roving pointer used to survive its block's
         // removal and skip blocks re-inserted at or below that key.
-        if self.cursor == Some((len, offset + 1)) {
+        if self.cursor == Some((span.len, span.offset + 1)) {
             self.cursor = None;
         }
-        Some(Span::new(offset, len))
+        Some(block)
     }
 
-    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Span> {
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found> {
         *steps += log_cost(self.by_size.len());
+        let found = |(&(l, o), &b): (&(usize, usize), &BlockRef)| Found {
+            span: Span::new(o, l),
+            block: b,
+            token: NO_TOKEN,
+        };
         match fit {
             // In a size-ordered structure the "first" block that fits *is*
             // the best fit — a realistic consequence of the A1 choice.
-            FitAlgorithm::FirstFit | FitAlgorithm::BestFit => self
-                .by_size
-                .range((len, 0)..)
-                .next()
-                .map(|(&(l, o), _)| Span::new(o, l)),
+            FitAlgorithm::FirstFit | FitAlgorithm::BestFit => {
+                self.by_size.range((len, 0)..).next().map(found)
+            }
             FitAlgorithm::NextFit => {
                 let start = self.cursor.unwrap_or((len, 0)).max((len, 0));
                 let hit = self
@@ -195,9 +216,9 @@ impl FreeIndex for SizeTreeIndex {
                     .range(start..)
                     .next()
                     .or_else(|| self.by_size.range((len, 0)..).next())
-                    .map(|(&(l, o), _)| Span::new(o, l));
-                if let Some(s) = hit {
-                    self.cursor = Some((s.len, s.offset + 1));
+                    .map(found);
+                if let Some(f) = hit {
+                    self.cursor = Some((f.span.len, f.span.offset + 1));
                 }
                 hit
             }
@@ -205,13 +226,13 @@ impl FreeIndex for SizeTreeIndex {
                 .by_size
                 .iter()
                 .next_back()
-                .map(|(&(l, o), _)| Span::new(o, l))
-                .filter(|s| s.len >= len),
+                .map(found)
+                .filter(|f| f.span.len >= len),
             FitAlgorithm::ExactFit => self
                 .by_size
                 .range((len, 0)..(len + 1, 0))
                 .next()
-                .map(|(&(l, o), _)| Span::new(o, l)),
+                .map(found),
         }
     }
 
@@ -228,7 +249,6 @@ impl FreeIndex for SizeTreeIndex {
 
     fn clear(&mut self) {
         self.by_size.clear();
-        self.len_of.clear();
         self.cursor = None;
     }
 
@@ -241,38 +261,43 @@ impl FreeIndex for SizeTreeIndex {
 mod tests {
     use super::*;
 
+    fn bref(offset: usize) -> BlockRef {
+        BlockRef::from_index((offset / 8) as u32)
+    }
+
     #[test]
     fn addr_index_first_fit_is_lowest_address() {
         let mut idx = AddrIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(200, 64), &mut s);
-        idx.insert(Span::new(0, 64), &mut s);
-        idx.insert(Span::new(100, 64), &mut s);
+        idx.insert(Span::new(200, 64), bref(200), &mut s);
+        idx.insert(Span::new(0, 64), bref(0), &mut s);
+        idx.insert(Span::new(100, 64), bref(100), &mut s);
         let hit = idx.find(FitAlgorithm::FirstFit, 32, &mut s).unwrap();
-        assert_eq!(hit.offset, 0);
+        assert_eq!(hit.span.offset, 0);
+        assert_eq!(hit.block, bref(0));
     }
 
     #[test]
     fn size_tree_first_fit_equals_best_fit() {
         let mut idx = SizeTreeIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(0, 256), &mut s);
-        idx.insert(Span::new(256, 32), &mut s);
-        idx.insert(Span::new(288, 64), &mut s);
+        idx.insert(Span::new(0, 256), bref(0), &mut s);
+        idx.insert(Span::new(256, 32), bref(256), &mut s);
+        idx.insert(Span::new(288, 64), bref(288), &mut s);
         let first = idx.find(FitAlgorithm::FirstFit, 48, &mut s).unwrap();
         let best = idx.find(FitAlgorithm::BestFit, 48, &mut s).unwrap();
         assert_eq!(first, best);
-        assert_eq!(first.len, 64);
+        assert_eq!(first.span.len, 64);
     }
 
     #[test]
     fn size_tree_worst_fit_is_largest() {
         let mut idx = SizeTreeIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(0, 128), &mut s);
-        idx.insert(Span::new(128, 512), &mut s);
+        idx.insert(Span::new(0, 128), bref(0), &mut s);
+        idx.insert(Span::new(128, 512), bref(128), &mut s);
         let hit = idx.find(FitAlgorithm::WorstFit, 64, &mut s).unwrap();
-        assert_eq!(hit.len, 512);
+        assert_eq!(hit.span.len, 512);
         assert!(idx.find(FitAlgorithm::WorstFit, 1024, &mut s).is_none());
     }
 
@@ -280,11 +305,11 @@ mod tests {
     fn size_tree_exact_fit_misses_close_sizes() {
         let mut idx = SizeTreeIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(0, 64), &mut s);
+        idx.insert(Span::new(0, 64), bref(0), &mut s);
         assert!(idx.find(FitAlgorithm::ExactFit, 63, &mut s).is_none());
         assert!(idx.find(FitAlgorithm::ExactFit, 65, &mut s).is_none());
         assert_eq!(
-            idx.find(FitAlgorithm::ExactFit, 64, &mut s).unwrap().offset,
+            idx.find(FitAlgorithm::ExactFit, 64, &mut s).unwrap().span.offset,
             0
         );
     }
@@ -295,12 +320,12 @@ mod tests {
         let mut tree = SizeTreeIndex::new();
         let mut s = 0u64;
         for i in 0..1024 {
-            addr.insert(Span::new(i * 64, 32), &mut s);
-            tree.insert(Span::new(i * 64, 32), &mut s);
+            addr.insert(Span::new(i * 64, 32), bref(i * 64), &mut s);
+            tree.insert(Span::new(i * 64, 32), bref(i * 64), &mut s);
         }
         // Add the only fitting block at the high end.
-        addr.insert(Span::new(1024 * 64, 4096), &mut s);
-        tree.insert(Span::new(1024 * 64, 4096), &mut s);
+        addr.insert(Span::new(1024 * 64, 4096), bref(1024 * 64), &mut s);
+        tree.insert(Span::new(1024 * 64, 4096), bref(1024 * 64), &mut s);
         let mut addr_steps = 0u64;
         addr.find(FitAlgorithm::BestFit, 4096, &mut addr_steps).unwrap();
         let mut tree_steps = 0u64;
@@ -313,19 +338,19 @@ mod tests {
     fn size_tree_next_fit_cursor_resets_when_its_block_is_removed() {
         let mut idx = SizeTreeIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(0, 64), &mut s);
-        idx.insert(Span::new(100, 64), &mut s);
+        idx.insert(Span::new(0, 64), bref(0), &mut s);
+        idx.insert(Span::new(100, 64), bref(100), &mut s);
         // NextFit lands on (64, 0) and parks the cursor at (64, 1).
         let first = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
-        assert_eq!(first.offset, 0);
+        assert_eq!(first.span.offset, 0);
         // The found block is taken (allocated), then returned (freed) —
         // the remove must invalidate the cursor it derived from, or the
         // roving pointer skips the re-inserted block forever.
-        idx.remove(0, &mut s).unwrap();
-        idx.insert(Span::new(0, 64), &mut s);
+        idx.remove(first.token, first.span, &mut s).unwrap();
+        idx.insert(Span::new(0, 64), bref(0), &mut s);
         let second = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
         assert_eq!(
-            second.offset, 0,
+            second.span.offset, 0,
             "stale cursor skipped the re-inserted block"
         );
     }
@@ -335,24 +360,24 @@ mod tests {
         let mut idx = SizeTreeIndex::new();
         let mut s = 0u64;
         for off in [0usize, 100, 200] {
-            idx.insert(Span::new(off, 64), &mut s);
+            idx.insert(Span::new(off, 64), bref(off), &mut s);
         }
         let first = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
-        assert_eq!(first.offset, 0);
+        assert_eq!(first.span.offset, 0);
         // Removing a block the cursor was *not* derived from keeps the
         // roving behaviour: the next search continues past the last hit.
-        idx.remove(200, &mut s).unwrap();
+        idx.remove(NO_TOKEN, Span::new(200, 64), &mut s).unwrap();
         let second = idx.find(FitAlgorithm::NextFit, 64, &mut s).unwrap();
-        assert_eq!(second.offset, 100, "cursor must keep roving");
+        assert_eq!(second.span.offset, 100, "cursor must keep roving");
     }
 
     #[test]
-    fn remove_returns_span_and_none_for_absent() {
+    fn remove_returns_block_and_none_for_absent() {
         let mut idx = SizeTreeIndex::new();
         let mut s = 0u64;
-        idx.insert(Span::new(64, 96), &mut s);
-        assert_eq!(idx.remove(64, &mut s), Some(Span::new(64, 96)));
-        assert_eq!(idx.remove(64, &mut s), None);
+        idx.insert(Span::new(64, 96), bref(64), &mut s);
+        assert_eq!(idx.remove(NO_TOKEN, Span::new(64, 96), &mut s), Some(bref(64)));
+        assert_eq!(idx.remove(NO_TOKEN, Span::new(64, 96), &mut s), None);
         assert_eq!(idx.len(), 0);
     }
 }

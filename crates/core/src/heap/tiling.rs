@@ -1,0 +1,649 @@
+//! The boundary-tag block store: an intrusive neighbour list over the
+//! tiled arena.
+//!
+//! Every byte the arena has handed out belongs to exactly one
+//! [`TiledBlock`], free or used — the *tiling invariant*. [`Tiling`] is the
+//! simulation's ground truth, replacing the offset-keyed `BTreeMap` of
+//! [`BlockMap`](crate::heap::block::BlockMap): blocks live in a slab and
+//! carry prev/next neighbour handles, exactly like the boundary tags of a
+//! real manager, so the operations the policy engine performs per event —
+//! neighbour lookup, split, coalesce-with-neighbours, top access — are all
+//! O(1) instead of O(log n).
+//!
+//! # Handles and invariants
+//!
+//! Blocks are addressed by [`BlockRef`] — a stable slab slot that never
+//! moves while its block exists. The invariants every user must maintain
+//! (and [`Tiling::check_tiling`] verifies):
+//!
+//! - the neighbour list is ordered by address, starts at offset 0 and ends
+//!   at the arena break with no gaps or overlaps (`prev.end() == next.offset`
+//!   for every adjacent pair);
+//! - a block's **offset never changes** while it is in the store — splits
+//!   shrink a block in place and insert the remainder after it, coalesces
+//!   extend the survivor and remove the absorbed neighbour;
+//! - all mutation goes through the `Tiling` methods below (there is no
+//!   `&mut TiledBlock` escape hatch), which is what keeps the debug-only
+//!   shadow oracle in lock-step.
+//!
+//! # The shadow oracle
+//!
+//! In debug builds the store additionally mirrors every block into the old
+//! `BTreeMap`-backed [`BlockMap`](crate::heap::block::BlockMap).
+//! [`Tiling::check_tiling`] walks the neighbour list and cross-checks the
+//! sequence — span, state, requested bytes and pool of every block — against
+//! that oracle, so any divergence between the intrusive list and the
+//! reference implementation fails loudly at the operation that caused it.
+//! Release builds carry no shadow and pay nothing.
+
+use crate::heap::block::{Block, BlockState, Span};
+
+/// Sentinel slot meaning "no neighbour".
+const NIL: u32 = u32::MAX;
+
+/// A stable handle to one block in a [`Tiling`].
+///
+/// Valid from the insertion that returned it until the block is removed;
+/// never invalidated by operations on other blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockRef(u32);
+
+impl BlockRef {
+    /// The raw slot index (for embedding in compact externals like
+    /// [`BlockHandle`](crate::manager::BlockHandle)).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`BlockRef::index`]. The caller asserts the
+    /// slot still names the block it was taken from ([`Tiling::get`]
+    /// panics on vacant slots; stale-but-reused slots must be detected by
+    /// the caller, e.g. by comparing offsets).
+    pub fn from_index(index: u32) -> BlockRef {
+        BlockRef(index)
+    }
+}
+
+/// One block of the tiled arena, with its intrusive neighbour links.
+#[derive(Debug, Clone, Copy)]
+pub struct TiledBlock {
+    /// The bytes this block covers.
+    pub span: Span,
+    /// Free or used.
+    pub state: BlockState,
+    /// Bytes the application requested (payload), meaningful when used.
+    pub requested: usize,
+    /// Pool the block currently belongs to.
+    pub pool: usize,
+    /// Token of this block's node in its pool's free index (meaningful
+    /// only while the block is free and indexed). Not part of the modelled
+    /// block — it is how the simulator finds the index node in O(1).
+    pub index_token: usize,
+    prev: u32,
+    next: u32,
+    occupied: bool,
+}
+
+impl TiledBlock {
+    /// Whether the block is free.
+    pub fn is_free(&self) -> bool {
+        self.state == BlockState::Free
+    }
+
+    /// Project the modelled fields into the classic [`Block`] record.
+    pub fn as_block(&self) -> Block {
+        Block {
+            span: self.span,
+            state: self.state,
+            requested: self.requested,
+            pool: self.pool,
+        }
+    }
+}
+
+/// The slab-backed boundary-tag block store. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Tiling {
+    slots: Vec<TiledBlock>,
+    free_slots: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    /// Debug-only shadow oracle: the PR 4 `BTreeMap` tiling, mirrored on
+    /// every mutation and cross-checked by [`Tiling::check_tiling`].
+    #[cfg(debug_assertions)]
+    shadow: crate::heap::block::BlockMap,
+}
+
+impl Tiling {
+    /// An empty store.
+    pub fn new() -> Self {
+        Tiling {
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            #[cfg(debug_assertions)]
+            shadow: crate::heap::block::BlockMap::new(),
+        }
+    }
+
+    /// Number of blocks (free + used).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no blocks at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The block `r` names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` names a vacant slot (a removed block).
+    pub fn get(&self, r: BlockRef) -> &TiledBlock {
+        let b = &self.slots[r.0 as usize];
+        assert!(b.occupied, "stale BlockRef {}", r.0);
+        b
+    }
+
+    /// Whether `r` currently names a live block (stale handles name vacant
+    /// or recycled slots; recycled slots are the caller's to detect by
+    /// offset comparison).
+    pub fn is_live(&self, r: BlockRef) -> bool {
+        (r.0 as usize) < self.slots.len() && self.slots[r.0 as usize].occupied
+    }
+
+    /// First block in address order (offset 0), if any.
+    pub fn first(&self) -> Option<BlockRef> {
+        (self.head != NIL).then_some(BlockRef(self.head))
+    }
+
+    /// Top-most block (highest offset), if any.
+    pub fn top(&self) -> Option<BlockRef> {
+        (self.tail != NIL).then_some(BlockRef(self.tail))
+    }
+
+    /// The physical neighbour after `r`.
+    pub fn next(&self, r: BlockRef) -> Option<BlockRef> {
+        let n = self.get(r).next;
+        (n != NIL).then_some(BlockRef(n))
+    }
+
+    /// The physical neighbour before `r`.
+    pub fn prev(&self, r: BlockRef) -> Option<BlockRef> {
+        let p = self.get(r).prev;
+        (p != NIL).then_some(BlockRef(p))
+    }
+
+    /// Iterate blocks in address order.
+    pub fn iter(&self) -> TilingIter<'_> {
+        TilingIter {
+            tiling: self,
+            cur: self.head,
+        }
+    }
+
+    fn alloc_slot(&mut self, block: TiledBlock) -> u32 {
+        debug_assert!(block.span.len > 0, "zero-length block");
+        match self.free_slots.pop() {
+            Some(s) => {
+                debug_assert!(!self.slots[s as usize].occupied);
+                self.slots[s as usize] = block;
+                s
+            }
+            None => {
+                self.slots.push(block);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn shadow_insert(&mut self, b: &TiledBlock) {
+        self.shadow.insert(b.as_block());
+    }
+
+    /// Append a free or used block at the top of the tiling. Its offset
+    /// must equal the current end of the tiling (0 when empty).
+    pub fn push_top(&mut self, block: Block) -> BlockRef {
+        debug_assert_eq!(
+            block.span.offset,
+            self.top().map_or(0, |t| self.get(t).span.end()),
+            "push_top must extend the tiling contiguously"
+        );
+        let old_tail = self.tail;
+        let node = TiledBlock {
+            span: block.span,
+            state: block.state,
+            requested: block.requested,
+            pool: block.pool,
+            index_token: 0,
+            prev: old_tail,
+            next: NIL,
+            occupied: true,
+        };
+        let slot = self.alloc_slot(node);
+        if old_tail != NIL {
+            self.slots[old_tail as usize].next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        self.len += 1;
+        #[cfg(debug_assertions)]
+        {
+            let b = self.slots[slot as usize];
+            self.shadow_insert(&b);
+        }
+        BlockRef(slot)
+    }
+
+    /// Insert a block immediately after `anchor`. The block must tile
+    /// exactly against its neighbours (`anchor.end() == block.offset`).
+    pub fn insert_after(&mut self, anchor: BlockRef, block: Block) -> BlockRef {
+        debug_assert_eq!(
+            self.get(anchor).span.end(),
+            block.span.offset,
+            "insert_after must tile against the anchor"
+        );
+        let anchor_next = self.get(anchor).next;
+        let node = TiledBlock {
+            span: block.span,
+            state: block.state,
+            requested: block.requested,
+            pool: block.pool,
+            index_token: 0,
+            prev: anchor.0,
+            next: anchor_next,
+            occupied: true,
+        };
+        let slot = self.alloc_slot(node);
+        self.slots[anchor.0 as usize].next = slot;
+        if anchor_next != NIL {
+            self.slots[anchor_next as usize].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.len += 1;
+        #[cfg(debug_assertions)]
+        {
+            let b = self.slots[slot as usize];
+            self.shadow_insert(&b);
+        }
+        BlockRef(slot)
+    }
+
+    /// Remove the block `r` names, returning its record. Neighbours are
+    /// relinked around the hole (the caller is responsible for the tiling
+    /// invariant — removal is only legal mid-merge or at the trimmed top).
+    pub fn remove(&mut self, r: BlockRef) -> Block {
+        let (prev, next, block) = {
+            let b = self.get(r);
+            (b.prev, b.next, b.as_block())
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[r.0 as usize].occupied = false;
+        self.free_slots.push(r.0);
+        self.len -= 1;
+        #[cfg(debug_assertions)]
+        {
+            let gone = self.shadow.remove(block.span.offset);
+            debug_assert!(gone.is_some(), "shadow missed block at {}", block.span.offset);
+        }
+        block
+    }
+
+    /// Change the block's length in place (split shrink / coalesce grow /
+    /// top extension). The offset is immutable by design.
+    pub fn set_len(&mut self, r: BlockRef, new_len: usize) {
+        debug_assert!(new_len > 0, "zero-length block");
+        let slot = r.0 as usize;
+        assert!(self.slots[slot].occupied, "stale BlockRef {}", r.0);
+        self.slots[slot].span = Span::new(self.slots[slot].span.offset, new_len);
+        #[cfg(debug_assertions)]
+        {
+            let b = self.slots[slot];
+            let sh = self
+                .shadow
+                .get_mut(b.span.offset)
+                .expect("shadow tracks every block");
+            sh.span = b.span;
+        }
+    }
+
+    /// Mark the block used by the application.
+    pub fn set_used(&mut self, r: BlockRef, requested: usize, pool: usize) {
+        let slot = r.0 as usize;
+        assert!(self.slots[slot].occupied, "stale BlockRef {}", r.0);
+        self.slots[slot].state = BlockState::Used;
+        self.slots[slot].requested = requested;
+        self.slots[slot].pool = pool;
+        #[cfg(debug_assertions)]
+        self.shadow_sync(slot);
+    }
+
+    /// Mark the block free and assign its pool.
+    pub fn set_free(&mut self, r: BlockRef, pool: usize) {
+        let slot = r.0 as usize;
+        assert!(self.slots[slot].occupied, "stale BlockRef {}", r.0);
+        self.slots[slot].state = BlockState::Free;
+        self.slots[slot].requested = 0;
+        self.slots[slot].pool = pool;
+        #[cfg(debug_assertions)]
+        self.shadow_sync(slot);
+    }
+
+    /// Re-home the block to another pool, keeping its state.
+    pub fn set_pool(&mut self, r: BlockRef, pool: usize) {
+        let slot = r.0 as usize;
+        assert!(self.slots[slot].occupied, "stale BlockRef {}", r.0);
+        self.slots[slot].pool = pool;
+        #[cfg(debug_assertions)]
+        self.shadow_sync(slot);
+    }
+
+    /// Update the requested-payload field of a used block (realloc in
+    /// place).
+    pub fn set_requested(&mut self, r: BlockRef, requested: usize) {
+        let slot = r.0 as usize;
+        assert!(self.slots[slot].occupied, "stale BlockRef {}", r.0);
+        debug_assert_eq!(self.slots[slot].state, BlockState::Used);
+        self.slots[slot].requested = requested;
+        #[cfg(debug_assertions)]
+        self.shadow_sync(slot);
+    }
+
+    /// Record the block's node token in its pool's free index. Simulator
+    /// bookkeeping only — the shadow oracle does not track it.
+    pub fn set_index_token(&mut self, r: BlockRef, token: usize) {
+        let slot = r.0 as usize;
+        assert!(self.slots[slot].occupied, "stale BlockRef {}", r.0);
+        self.slots[slot].index_token = token;
+    }
+
+    #[cfg(debug_assertions)]
+    fn shadow_sync(&mut self, slot: usize) {
+        let b = self.slots[slot];
+        let sh = self
+            .shadow
+            .get_mut(b.span.offset)
+            .expect("shadow tracks every block");
+        *sh = b.as_block();
+    }
+
+    /// Linear fallback lookup by offset (stale or externally-minted
+    /// handles only — every hot path resolves blocks through [`BlockRef`]).
+    pub fn find_by_offset(&self, offset: usize) -> Option<BlockRef> {
+        self.iter()
+            .find(|(_, b)| b.span.offset == offset)
+            .map(|(r, _)| r)
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+        #[cfg(debug_assertions)]
+        self.shadow.clear();
+    }
+
+    /// Verify the tiling invariant against an arena of size `brk`: blocks
+    /// start at 0, are contiguous, non-overlapping, end at `brk`, and the
+    /// prev links mirror the next links. Debug builds additionally
+    /// cross-check the whole block sequence against the shadow
+    /// [`BlockMap`](crate::heap::block::BlockMap) oracle.
+    ///
+    /// Returns a description of the first violation, if any.
+    pub fn check_tiling(&self, brk: usize) -> Option<String> {
+        let mut cursor = 0usize;
+        let mut prev: u32 = NIL;
+        let mut cur = self.head;
+        let mut count = 0usize;
+        while cur != NIL {
+            let b = &self.slots[cur as usize];
+            if !b.occupied {
+                return Some(format!("linked slot {cur} is vacant"));
+            }
+            if b.prev != prev {
+                return Some(format!(
+                    "block at {}: prev link {} disagrees with walk ({prev})",
+                    b.span.offset, b.prev
+                ));
+            }
+            if b.span.offset != cursor {
+                return Some(format!(
+                    "gap or overlap: expected block at {cursor}, found {}",
+                    b.span.offset
+                ));
+            }
+            if b.span.len == 0 {
+                return Some(format!("zero-length block at {}", b.span.offset));
+            }
+            cursor = b.span.end();
+            prev = cur;
+            cur = b.next;
+            count += 1;
+            if count > self.len {
+                return Some("neighbour list is cyclic".into());
+            }
+        }
+        if prev != self.tail {
+            return Some(format!("tail {} disagrees with walk ({prev})", self.tail));
+        }
+        if count != self.len {
+            return Some(format!("len {} but walked {count} blocks", self.len));
+        }
+        if cursor != brk {
+            return Some(format!("tiling ends at {cursor}, arena brk is {brk}"));
+        }
+        #[cfg(debug_assertions)]
+        {
+            if let Some(err) = self.shadow.check_tiling(brk) {
+                return Some(format!("shadow oracle: {err}"));
+            }
+            if self.shadow.len() != self.len {
+                return Some(format!(
+                    "shadow oracle holds {} blocks, list holds {}",
+                    self.shadow.len(),
+                    self.len
+                ));
+            }
+            for ((_, b), oracle) in self.iter().zip(self.shadow.iter()) {
+                if b.as_block() != *oracle {
+                    return Some(format!(
+                        "divergence from the shadow oracle at {}: {:?} vs {:?}",
+                        oracle.span.offset,
+                        b.as_block(),
+                        oracle
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Address-order iterator over a [`Tiling`].
+#[derive(Debug)]
+pub struct TilingIter<'a> {
+    tiling: &'a Tiling,
+    cur: u32,
+}
+
+impl<'a> Iterator for TilingIter<'a> {
+    type Item = (BlockRef, &'a TiledBlock);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let slot = self.cur;
+        let b = &self.tiling.slots[slot as usize];
+        self.cur = b.next;
+        Some((BlockRef(slot), b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free(offset: usize, len: usize) -> Block {
+        Block::free(Span::new(offset, len), 0)
+    }
+
+    #[test]
+    fn push_top_builds_an_ordered_list() {
+        let mut t = Tiling::new();
+        let a = t.push_top(free(0, 16));
+        let b = t.push_top(free(16, 32));
+        let c = t.push_top(free(48, 16));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.first(), Some(a));
+        assert_eq!(t.top(), Some(c));
+        assert_eq!(t.next(a), Some(b));
+        assert_eq!(t.next(b), Some(c));
+        assert_eq!(t.next(c), None);
+        assert_eq!(t.prev(b), Some(a));
+        assert_eq!(t.prev(a), None);
+        assert!(t.check_tiling(64).is_none());
+        assert!(t.check_tiling(65).is_some());
+    }
+
+    #[test]
+    fn insert_after_splices_mid_list() {
+        let mut t = Tiling::new();
+        let a = t.push_top(free(0, 64));
+        t.set_len(a, 16);
+        let b = t.insert_after(a, free(16, 48));
+        assert_eq!(t.next(a), Some(b));
+        assert_eq!(t.top(), Some(b));
+        t.set_len(b, 16);
+        let c = t.insert_after(b, free(32, 32));
+        assert_eq!(t.top(), Some(c));
+        assert_eq!(t.prev(c), Some(b));
+        assert!(t.check_tiling(64).is_none());
+    }
+
+    #[test]
+    fn remove_relinks_neighbours_and_recycles_slots() {
+        let mut t = Tiling::new();
+        let a = t.push_top(free(0, 16));
+        let b = t.push_top(free(16, 16));
+        let c = t.push_top(free(32, 16));
+        t.remove(b);
+        t.set_len(a, 32); // a absorbs b's bytes: tiling restored
+        assert_eq!(t.next(a), Some(c));
+        assert_eq!(t.prev(c), Some(a));
+        assert!(t.check_tiling(48).is_none());
+        assert!(!t.is_live(b));
+        // The freed slot is recycled by the next insertion.
+        let d = t.insert_after(c, free(48, 8));
+        assert_eq!(d.index(), b.index());
+        assert!(t.is_live(d));
+        assert!(t.check_tiling(56).is_none());
+    }
+
+    #[test]
+    fn remove_tail_and_head_update_anchors() {
+        let mut t = Tiling::new();
+        let a = t.push_top(free(0, 16));
+        let b = t.push_top(free(16, 16));
+        t.remove(b);
+        assert_eq!(t.top(), Some(a));
+        assert!(t.check_tiling(16).is_none());
+        t.remove(a);
+        assert!(t.is_empty());
+        assert_eq!(t.first(), None);
+        assert_eq!(t.top(), None);
+        assert!(t.check_tiling(0).is_none());
+    }
+
+    #[test]
+    fn state_mutators_keep_the_shadow_in_step() {
+        let mut t = Tiling::new();
+        let a = t.push_top(free(0, 64));
+        t.set_used(a, 60, 3);
+        assert_eq!(t.get(a).state, BlockState::Used);
+        assert_eq!(t.get(a).requested, 60);
+        assert_eq!(t.get(a).pool, 3);
+        assert!(t.check_tiling(64).is_none());
+        t.set_requested(a, 50);
+        t.set_free(a, 1);
+        t.set_pool(a, 2);
+        assert_eq!(t.get(a).pool, 2);
+        assert!(t.get(a).is_free());
+        assert!(t.check_tiling(64).is_none());
+    }
+
+    #[test]
+    fn find_by_offset_resolves_and_misses() {
+        let mut t = Tiling::new();
+        let _ = t.push_top(free(0, 16));
+        let b = t.push_top(free(16, 16));
+        assert_eq!(t.find_by_offset(16), Some(b));
+        assert_eq!(t.find_by_offset(8), None);
+        assert_eq!(t.find_by_offset(999), None);
+    }
+
+    #[test]
+    fn check_tiling_detects_gaps() {
+        let mut t = Tiling::new();
+        let a = t.push_top(free(0, 16));
+        let _ = t.push_top(free(16, 16));
+        // Shrink the first block without inserting a filler: gap at 8..16.
+        t.set_len(a, 8);
+        let err = t.check_tiling(32).expect("gap must be detected");
+        assert!(err.contains("expected block at 8"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale BlockRef")]
+    fn stale_ref_is_rejected() {
+        let mut t = Tiling::new();
+        let a = t.push_top(free(0, 16));
+        t.remove(a);
+        let _ = t.get(a);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = Tiling::new();
+        let _ = t.push_top(free(0, 16));
+        let _ = t.push_top(free(16, 16));
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.check_tiling(0).is_none());
+        let a = t.push_top(free(0, 32));
+        assert_eq!(t.first(), Some(a));
+        assert!(t.check_tiling(32).is_none());
+    }
+
+    #[test]
+    fn iter_yields_address_order() {
+        let mut t = Tiling::new();
+        let mut expect = Vec::new();
+        for i in 0..10 {
+            t.push_top(free(i * 8, 8));
+            expect.push(i * 8);
+        }
+        let got: Vec<usize> = t.iter().map(|(_, b)| b.span.offset).collect();
+        assert_eq!(got, expect);
+    }
+}

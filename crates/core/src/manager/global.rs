@@ -168,7 +168,9 @@ impl Allocator for GlobalManager {
         let region = self.current;
         let h = self.managers[region].alloc(req)?;
         self.refresh_merged();
-        Ok(BlockHandle::new(h.offset(), region as u32))
+        // Re-stamp the region, keeping the atomic manager's tiling slot so
+        // the eventual free stays O(1).
+        Ok(h.in_region(region as u32))
     }
 
     fn free(&mut self, handle: BlockHandle) -> Result<()> {
@@ -178,7 +180,7 @@ impl Allocator for GlobalManager {
                 offset: handle.offset(),
             });
         }
-        self.managers[region].free(BlockHandle::new(handle.offset(), 0))?;
+        self.managers[region].free(handle.in_region(0))?;
         self.refresh_merged();
         Ok(())
     }
@@ -189,6 +191,10 @@ impl Allocator for GlobalManager {
 
     fn stats(&self) -> &AllocStats {
         &self.merged
+    }
+
+    fn check_invariants(&self) -> std::result::Result<(), String> {
+        GlobalManager::check_invariants(self)
     }
 
     fn set_phase(&mut self, phase: u32) {

@@ -21,21 +21,53 @@ use crate::metrics::AllocStats;
 ///
 /// Handles are issued by [`Allocator::alloc`] and consumed by
 /// [`Allocator::free`]. The `region` discriminates atomic managers inside a
-/// [`GlobalManager`].
+/// [`GlobalManager`]; the `slot` carries the issuing manager's
+/// boundary-tag [`BlockRef`](crate::heap::tiling::BlockRef) so a free
+/// resolves its block in O(1) without any offset lookup (handles minted
+/// without a slot — baselines, hand-built tests — fall back to a linear
+/// resolve in [`PolicyAllocator`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockHandle {
     offset: usize,
     region: u32,
+    slot: u32,
 }
 
+/// Sentinel slot for handles minted without a tiling reference.
+const NO_SLOT: u32 = u32::MAX;
+
 impl BlockHandle {
-    /// Construct a handle.
+    /// Construct a handle with no tiling slot.
     ///
     /// Intended for [`Allocator`] *implementors* (the baseline crates mint
     /// handles too); applications should only pass around handles returned
     /// by [`Allocator::alloc`].
     pub const fn new(offset: usize, region: u32) -> Self {
-        BlockHandle { offset, region }
+        BlockHandle {
+            offset,
+            region,
+            slot: NO_SLOT,
+        }
+    }
+
+    /// Construct a handle that carries the issuing manager's tiling slot —
+    /// what [`PolicyAllocator`] mints so frees resolve in O(1).
+    pub const fn with_slot(offset: usize, slot: u32, region: u32) -> Self {
+        BlockHandle {
+            offset,
+            region,
+            slot,
+        }
+    }
+
+    /// The same handle re-stamped for another region, keeping the slot
+    /// (how [`GlobalManager`] wraps and unwraps atomic-manager handles).
+    pub const fn in_region(&self, region: u32) -> Self {
+        BlockHandle {
+            offset: self.offset,
+            region,
+            slot: self.slot,
+        }
     }
 
     /// Arena offset of the block's first byte.
@@ -46,6 +78,15 @@ impl BlockHandle {
     /// Atomic-manager region this handle belongs to (0 for plain managers).
     pub fn region(&self) -> u32 {
         self.region
+    }
+
+    /// The issuing manager's tiling slot, if the handle carries one.
+    pub fn slot(&self) -> Option<u32> {
+        if self.slot == NO_SLOT {
+            None
+        } else {
+            Some(self.slot)
+        }
     }
 }
 
@@ -119,6 +160,18 @@ pub trait Allocator: std::fmt::Debug {
     /// (Section 3.3). Plain managers ignore this.
     fn set_phase(&mut self, phase: u32) {
         let _ = phase;
+    }
+
+    /// Verify every internal invariant the manager maintains, returning a
+    /// description of the first violation.
+    ///
+    /// The replay kernels call this after **every event in debug builds**,
+    /// so structural corruption (a broken tiling, an index out of step with
+    /// the block store) fails at the event that caused it rather than at a
+    /// final assertion thousands of events later. The default is a no-op
+    /// for managers without internal cross-structure invariants.
+    fn check_invariants(&self) -> std::result::Result<(), String> {
+        Ok(())
     }
 
     /// Return to the pristine state, keeping the configuration.

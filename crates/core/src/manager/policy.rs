@@ -4,12 +4,16 @@
 //! driven purely by the configuration: tag overhead (A3/A4), class rounding
 //! (A2), pool routing (B1/B4), fit search (C1), splitting (A5/E1/E2),
 //! coalescing (A5/D1/D2) and returning memory to the system. The engine
-//! maintains the tiling invariant of [`BlockMap`] and charges search steps
-//! that reflect what the chosen structures would really cost.
+//! maintains the tiling invariant of the boundary-tag [`Tiling`] store —
+//! blocks are addressed by stable [`BlockRef`] handles and carry intrusive
+//! neighbour links, so neighbour lookup, split and coalesce are O(1) — and
+//! charges search steps that reflect what the chosen structures would
+//! really cost.
 
 use crate::error::{Error, Result};
 use crate::heap::arena::Arena;
-use crate::heap::block::{Block, BlockMap, BlockState, Span};
+use crate::heap::block::{Block, Span};
+use crate::heap::tiling::{BlockRef, TiledBlock, Tiling};
 use crate::manager::pools::{Pools, UNINDEXED};
 use crate::manager::{Allocator, BlockHandle};
 use crate::metrics::AllocStats;
@@ -45,14 +49,14 @@ pub struct PolicyAllocator {
     name_arc: std::sync::Arc<str>,
     tag_bytes: usize,
     arena: Arena,
-    blocks: BlockMap,
+    blocks: Tiling,
     pools: Pools,
     stats: AllocStats,
     coalesce_dirty: bool,
     /// Reusable buffer for the current free run of [`PolicyAllocator::sweep_coalesce`]
     /// — bounded by the longest run of adjacent free blocks, reused across
     /// sweeps so a deferred-coalescing manager allocates nothing per pass.
-    sweep_run: Vec<Block>,
+    sweep_run: Vec<(BlockRef, TiledBlock)>,
 }
 
 impl PolicyAllocator {
@@ -73,7 +77,7 @@ impl PolicyAllocator {
             name_arc: std::sync::Arc::from(cfg.name.as_str()),
             tag_bytes: cfg.tag_bytes_per_block(),
             arena,
-            blocks: BlockMap::new(),
+            blocks: Tiling::new(),
             pools,
             stats: AllocStats::default(),
             coalesce_dirty: false,
@@ -120,42 +124,85 @@ impl PolicyAllocator {
         }
     }
 
+    /// The fit an exact-fit manager that may split retries with when its
+    /// size is missing — A5's "activated according to the availability of
+    /// the size of the memory block requested". `None` for every other
+    /// configuration (they retry with their own fit, which already
+    /// searched).
+    fn split_retry_fit(&self) -> Option<FitAlgorithm> {
+        (self.cfg.fit == FitAlgorithm::ExactFit && self.cfg.may_split())
+            .then_some(FitAlgorithm::BestFit)
+    }
+
     fn sync_system(&mut self) {
         self.stats
             .set_system(self.arena.brk(), self.pools.static_overhead());
     }
 
-    /// Insert `len` free bytes at `offset` into the map and pool indexes,
+    /// Insert a block into the tiling after `anchor`, or at the top when
+    /// `anchor` is `None`.
+    fn insert_block(&mut self, anchor: Option<BlockRef>, block: Block) -> BlockRef {
+        match anchor {
+            Some(a) => self.blocks.insert_after(a, block),
+            None => self.blocks.push_top(block),
+        }
+    }
+
+    /// Index the free block `r` in `pool`, wiring the returned token back
+    /// into the block.
+    fn index_free(&mut self, r: BlockRef, span: Span, pool: usize, steps: &mut u64) {
+        let token = self.pools.index_mut(pool).insert(span, r, steps);
+        self.blocks.set_index_token(r, token);
+    }
+
+    /// Remove the free block `r` from its pool index (no-op for
+    /// [`UNINDEXED`] blocks).
+    fn unindex(&mut self, blk: &TiledBlock, steps: &mut u64) {
+        if blk.pool != UNINDEXED {
+            self.pools
+                .index_mut(blk.pool)
+                .remove(blk.index_token, blk.span, steps)
+                .expect("indexed block's token must be live");
+        }
+    }
+
+    /// Insert `len` free bytes at `offset` — physically right after
+    /// `anchor` (or as the new top) — into the tiling and pool indexes,
     /// carving to class sizes when A2 fixes them. Slack that fits no class
     /// stays as an unindexed free block (Kingsley's misused memory).
-    fn insert_free_carved(&mut self, offset: usize, len: usize, steps: &mut u64) {
+    fn insert_free_carved(
+        &mut self,
+        anchor: Option<BlockRef>,
+        offset: usize,
+        len: usize,
+        steps: &mut u64,
+    ) {
         debug_assert!(len > 0);
         if self.cfg.block_sizes == BlockSizes::Many {
             let pool = self.pools.route(len, steps);
-            self.blocks.insert(Block::free(Span::new(offset, len), pool));
-            self.pools
-                .index_mut(pool)
-                .insert(Span::new(offset, len), steps);
+            let span = Span::new(offset, len);
+            let r = self.insert_block(anchor, Block::free(span, pool));
+            self.index_free(r, span, pool, steps);
             return;
         }
         // Fixed classes: greedy carve, largest class first.
+        let mut cursor = anchor;
         let mut at = offset;
         let mut rest = len;
         while rest >= MIN_BLOCK {
             let class = self.largest_class_at_most(rest);
             let Some(class) = class else { break };
             let pool = self.pools.route(class, steps);
-            self.blocks.insert(Block::free(Span::new(at, class), pool));
-            self.pools
-                .index_mut(pool)
-                .insert(Span::new(at, class), steps);
+            let span = Span::new(at, class);
+            let r = self.insert_block(cursor, Block::free(span, pool));
+            self.index_free(r, span, pool, steps);
+            cursor = Some(r);
             at += class;
             rest -= class;
         }
         if rest > 0 {
-            // Unusable slack: present in the map (tiling), in no index.
-            self.blocks
-                .insert(Block::free(Span::new(at, rest), UNINDEXED));
+            // Unusable slack: present in the tiling, in no index.
+            self.insert_block(cursor, Block::free(Span::new(at, rest), UNINDEXED));
         }
     }
 
@@ -181,9 +228,9 @@ impl PolicyAllocator {
         }
     }
 
-    /// Obtain fresh memory for a `block_len` request. Returns the pool and
-    /// span of a free, *unindexed* block already present in the map.
-    fn grow(&mut self, block_len: usize, steps: &mut u64) -> Result<(usize, Span)> {
+    /// Obtain fresh memory for a `block_len` request. Returns a free,
+    /// *unindexed* block already present in the tiling.
+    fn grow(&mut self, block_len: usize, steps: &mut u64) -> Result<(BlockRef, Span)> {
         self.stats.failed_fits += 1;
         if self.cfg.block_sizes.is_fixed() {
             // Reserve a granule and distribute it among the class lists —
@@ -198,62 +245,54 @@ impl PolicyAllocator {
             self.stats.sbrk_calls += 1;
             let pool = self.pools.route(block_len, steps);
             // Candidate block for the current request:
-            self.blocks
-                .insert(Block::free(Span::new(base, block_len), UNINDEXED));
+            let span = Span::new(base, block_len);
+            let candidate = self.blocks.push_top(Block::free(span, UNINDEXED));
             // Siblings of the same class:
             let mut at = base + block_len;
             while at + block_len <= base + reserve {
-                self.blocks
-                    .insert(Block::free(Span::new(at, block_len), pool));
-                self.pools
-                    .index_mut(pool)
-                    .insert(Span::new(at, block_len), steps);
+                let sspan = Span::new(at, block_len);
+                let r = self.blocks.push_top(Block::free(sspan, pool));
+                self.index_free(r, sspan, pool, steps);
                 at += block_len;
             }
             let slack = base + reserve - at;
             if slack > 0 {
                 self.blocks
-                    .insert(Block::free(Span::new(at, slack), UNINDEXED));
+                    .push_top(Block::free(Span::new(at, slack), UNINDEXED));
             }
-            return Ok((pool, Span::new(base, block_len)));
+            return Ok((candidate, span));
         }
 
         // Many sizes: extend the top free block if the policy can merge new
         // memory into it, otherwise take an exact extension.
         if self.cfg.may_coalesce() {
-            if let Some(top) = self.blocks.top().copied() {
+            if let Some(top_ref) = self.blocks.top() {
+                let top = *self.blocks.get(top_ref);
                 if top.is_free() && top.span.len < block_len {
                     let need = block_len - top.span.len;
                     self.arena.sbrk(need)?;
                     self.stats.sbrk_calls += 1;
-                    if top.pool != UNINDEXED {
-                        self.pools
-                            .index_mut(top.pool)
-                            .remove(top.span.offset, steps);
-                    }
+                    self.unindex(&top, steps);
                     let span = Span::new(top.span.offset, block_len);
-                    let blk = self
-                        .blocks
-                        .get_mut(top.span.offset)
-                        .expect("top block must exist");
-                    blk.span = span;
-                    blk.pool = UNINDEXED;
-                    let pool = self.pools.route(block_len, steps);
-                    return Ok((pool, span));
+                    self.blocks.set_len(top_ref, block_len);
+                    self.blocks.set_pool(top_ref, UNINDEXED);
+                    let _pool = self.pools.route(block_len, steps);
+                    return Ok((top_ref, span));
                 }
             }
         }
         let base = self.arena.sbrk(block_len)?;
         self.stats.sbrk_calls += 1;
-        self.blocks
-            .insert(Block::free(Span::new(base, block_len), UNINDEXED));
-        let pool = self.pools.route(block_len, steps);
-        Ok((pool, Span::new(base, block_len)))
+        let span = Span::new(base, block_len);
+        let r = self.blocks.push_top(Block::free(span, UNINDEXED));
+        let _pool = self.pools.route(block_len, steps);
+        Ok((r, span))
     }
 
-    /// Split the free unindexed block at `span` down to `need` bytes if the
+    /// Split the free unindexed block `r` down to `need` bytes if the
     /// E-category policy allows; returns the length actually kept.
-    fn try_split(&mut self, span: Span, need: usize, steps: &mut u64) -> usize {
+    fn try_split(&mut self, r: BlockRef, need: usize, steps: &mut u64) -> usize {
+        let span = self.blocks.get(r).span;
         debug_assert!(span.len >= need);
         let remainder = span.len - need;
         let Some(trigger) = self.split_trigger() else {
@@ -265,46 +304,32 @@ impl PolicyAllocator {
         // Perform the split: shrink this block, carve the remainder.
         self.stats.splits += 1;
         *steps += 2; // re-stamp two tags
-        let blk = self
-            .blocks
-            .get_mut(span.offset)
-            .expect("split target must exist");
-        blk.span = Span::new(span.offset, need);
-        self.insert_free_carved(span.offset + need, remainder, steps);
+        self.blocks.set_len(r, need);
+        self.insert_free_carved(Some(r), span.offset + need, remainder, steps);
         need
     }
 
-    /// Immediately merge the free block at `offset` with free physical
-    /// neighbours, honouring the D1 cap. Returns the merged span, which is
-    /// left in the map, free and unindexed.
-    fn coalesce_at(&mut self, offset: usize, steps: &mut u64) -> Span {
+    /// Immediately merge the free block `r` with free physical neighbours,
+    /// honouring the D1 cap. Returns the surviving block — left in the
+    /// tiling, free and unindexed — and its merged span.
+    fn coalesce_at(&mut self, mut r: BlockRef, steps: &mut u64) -> (BlockRef, Span) {
         let cap = match self.cfg.coalesce_max {
             CoalesceMaxSizes::Unlimited => usize::MAX,
             CoalesceMaxSizes::Capped => self.cfg.params.coalesce_cap,
         };
-        let mut span = self
-            .blocks
-            .get(offset)
-            .expect("coalesce target must exist")
-            .span;
+        let mut span = self.blocks.get(r).span;
 
         // Forward merges: the next header is one tag read away.
-        while let Some(next) = self.blocks.next_of(span.offset).copied() {
+        while let Some(next_ref) = self.blocks.next(r) {
+            let next = *self.blocks.get(next_ref);
             if !next.is_free() || span.len + next.span.len > cap {
                 break;
             }
             *steps += 1;
-            if next.pool != UNINDEXED {
-                self.pools
-                    .index_mut(next.pool)
-                    .remove(next.span.offset, steps);
-            }
-            self.blocks.remove(next.span.offset);
+            self.unindex(&next, steps);
+            self.blocks.remove(next_ref);
             span = Span::new(span.offset, span.len + next.span.len);
-            self.blocks
-                .get_mut(span.offset)
-                .expect("merged block must exist")
-                .span = span;
+            self.blocks.set_len(r, span.len);
             self.stats.coalesces += 1;
         }
 
@@ -314,7 +339,8 @@ impl PolicyAllocator {
             self.cfg.block_tags,
             BlockTags::Footer | BlockTags::HeaderAndFooter
         ) || self.cfg.recorded_info.knows_prev();
-        while let Some(prev) = self.blocks.prev_of(span.offset).copied() {
+        while let Some(prev_ref) = self.blocks.prev(r) {
+            let prev = *self.blocks.get(prev_ref);
             if !prev.is_free()
                 || prev.span.end() != span.offset
                 || prev.span.len + span.len > cap
@@ -326,23 +352,15 @@ impl PolicyAllocator {
             } else {
                 self.pools.total_free() as u64 + 1
             };
-            if prev.pool != UNINDEXED {
-                self.pools
-                    .index_mut(prev.pool)
-                    .remove(prev.span.offset, steps);
-            }
-            self.blocks.remove(span.offset);
+            self.unindex(&prev, steps);
+            self.blocks.remove(r);
             span = Span::new(prev.span.offset, prev.span.len + span.len);
-            let blk = self
-                .blocks
-                .get_mut(span.offset)
-                .expect("merged block must exist");
-            blk.span = span;
-            blk.pool = UNINDEXED;
-            blk.state = BlockState::Free;
+            self.blocks.set_len(prev_ref, span.len);
+            self.blocks.set_free(prev_ref, UNINDEXED);
+            r = prev_ref;
             self.stats.coalesces += 1;
         }
-        span
+        (r, span)
     }
 
     /// Deferred whole-heap coalescing sweep (D2 = deferred): walk the tiling
@@ -351,10 +369,10 @@ impl PolicyAllocator {
     /// The walk runs **in place**: only the free run currently being
     /// gathered is buffered (in the reusable `sweep_run` scratch), never a
     /// snapshot of the whole heap — a sweep over a mostly-used heap copies
-    /// nothing. Runs are disjoint and each merge replaces exactly its own
-    /// members, so mutating behind the cursor cannot disturb the blocks
-    /// still ahead of it; charges and ordering are identical to a
-    /// snapshot-then-merge sweep.
+    /// nothing. Runs are disjoint and each merge keeps its first member's
+    /// block (extended over the run) while unlinking the rest, so mutating
+    /// behind the cursor cannot disturb the blocks still ahead of it;
+    /// charges and ordering are identical to a snapshot-then-merge sweep.
     fn sweep_coalesce(&mut self, steps: &mut u64) {
         *steps += self.blocks.len() as u64;
         let cap = match self.cfg.coalesce_max {
@@ -363,44 +381,50 @@ impl PolicyAllocator {
         };
         // Take the scratch so the walk can borrow `self.blocks` freely.
         let mut run = std::mem::take(&mut self.sweep_run);
-        let mut cursor = self.blocks.iter().next().map(|b| b.span.offset);
-        while let Some(at) = cursor {
-            let blk = *self.blocks.get(at).expect("cursor block must exist");
+        let mut cursor = self.blocks.first();
+        while let Some(r) = cursor {
+            let blk = *self.blocks.get(r);
             if !blk.is_free() {
-                cursor = self.blocks.next_of(at).map(|b| b.span.offset);
+                cursor = self.blocks.next(r);
                 continue;
             }
             // Gather the free run starting here. The tiling makes every
             // next block physically adjacent; only the D1 cap ends a run
             // early.
             run.clear();
-            run.push(blk);
+            run.push((r, blk));
             let mut run_len = blk.span.len;
-            let mut tail = at;
-            while let Some(next) = self.blocks.next_of(tail).copied() {
+            let mut tail = r;
+            while let Some(next_ref) = self.blocks.next(tail) {
+                let next = *self.blocks.get(next_ref);
                 if !next.is_free() || run_len + next.span.len > cap {
                     break;
                 }
                 run_len += next.span.len;
-                tail = next.span.offset;
-                run.push(next);
+                tail = next_ref;
+                run.push((next_ref, next));
             }
             // Resume after the run — recorded before the merge rewrites it.
-            cursor = self.blocks.next_of(tail).map(|b| b.span.offset);
+            cursor = self.blocks.next(tail);
             if run.len() > 1 {
-                for m in &run {
+                for (_, m) in &run {
                     if m.pool != UNINDEXED {
-                        self.pools.index_mut(m.pool).remove(m.span.offset, steps);
+                        self.pools
+                            .index_mut(m.pool)
+                            .remove(m.index_token, m.span, steps)
+                            .expect("swept block's token must be live");
                     }
-                    self.blocks.remove(m.span.offset);
                     self.stats.coalesces += 1;
                 }
                 self.stats.coalesces -= 1; // n blocks -> n-1 merges
+                for (mr, _) in &run[1..] {
+                    self.blocks.remove(*mr);
+                }
+                self.blocks.set_len(r, run_len);
                 let pool = self.pools.route(run_len, steps);
-                self.blocks.insert(Block::free(Span::new(at, run_len), pool));
-                self.pools
-                    .index_mut(pool)
-                    .insert(Span::new(at, run_len), steps);
+                self.blocks.set_free(r, pool);
+                let span = Span::new(blk.span.offset, run_len);
+                self.index_free(r, span, pool, steps);
             }
         }
         run.clear();
@@ -414,79 +438,110 @@ impl PolicyAllocator {
         let Some(threshold) = self.cfg.params.trim_threshold else {
             return;
         };
-        while let Some(top) = self.blocks.top().copied() {
+        while let Some(top_ref) = self.blocks.top() {
+            let top = *self.blocks.get(top_ref);
             if !top.is_free() || top.span.len < threshold {
                 break;
             }
             *steps += 1;
-            if top.pool != UNINDEXED {
-                self.pools
-                    .index_mut(top.pool)
-                    .remove(top.span.offset, steps);
-            }
-            self.blocks.remove(top.span.offset);
+            self.unindex(&top, steps);
+            self.blocks.remove(top_ref);
             self.arena.trim(top.span.offset);
             self.stats.trims += 1;
         }
     }
 
+    /// Resolve a handle to its live (used) block.
+    ///
+    /// O(1) through the tiling slot the handle carries, validated against
+    /// the handle's offset so a recycled slot cannot free an unrelated
+    /// block. Slotless or stale handles fall back to the linear offset
+    /// scan, which reproduces the legacy offset-keyed semantics exactly:
+    /// a free is valid iff a used block starts at the handle's offset.
+    fn resolve_used(&self, handle: BlockHandle) -> Option<BlockRef> {
+        let offset = handle.offset();
+        if let Some(slot) = handle.slot() {
+            let r = BlockRef::from_index(slot);
+            if self.blocks.is_live(r) {
+                let b = self.blocks.get(r);
+                if b.span.offset == offset && !b.is_free() {
+                    return Some(r);
+                }
+            }
+        }
+        let r = self.blocks.find_by_offset(offset)?;
+        (!self.blocks.get(r).is_free()).then_some(r)
+    }
+
     /// Verify every internal invariant; returns a description of the first
-    /// violation. Used by tests and property checks.
+    /// violation. Used by tests, property checks, and — per event, in
+    /// debug builds — the replay kernels (via [`Allocator::check_invariants`]).
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
         if let Some(err) = self.blocks.check_tiling(self.arena.brk()) {
             return Err(format!("tiling violated: {err}"));
         }
-        // Every indexed span must be a free block of the same pool.
+        // One snapshot of every indexed span; duplicates across indexes are
+        // caught on insertion. (This check runs per event in debug replays,
+        // so it is one map and one tiling pass, not several.)
+        let mut indexed: std::collections::HashMap<usize, (usize, Span)> =
+            std::collections::HashMap::new();
         for (pool, span) in self.pools.all_spans() {
-            let Some(blk) = self.blocks.get(span.offset) else {
-                return Err(format!("indexed span {span:?} missing from block map"));
-            };
-            if !blk.is_free() {
-                return Err(format!("indexed span {span:?} is not free"));
-            }
-            if blk.span != span {
-                return Err(format!("indexed span {span:?} disagrees with {:?}", blk.span));
-            }
-            if blk.pool != pool {
-                return Err(format!(
-                    "indexed span {span:?} pool {pool} disagrees with block pool {}",
-                    blk.pool
-                ));
-            }
-        }
-        // Every free indexed block must appear exactly once across indexes.
-        let mut seen = std::collections::HashSet::new();
-        for (_, span) in self.pools.all_spans() {
-            if !seen.insert(span.offset) {
+            if indexed.insert(span.offset, (pool, span)).is_some() {
                 return Err(format!("span at {} indexed twice", span.offset));
             }
         }
-        // Every free block with a pool assignment must be indexed.
-        for blk in self.blocks.iter() {
-            if blk.is_free() && blk.pool != UNINDEXED && !seen.contains(&blk.span.offset) {
-                return Err(format!(
-                    "free block at {} claims pool {} but is unindexed",
-                    blk.span.offset, blk.pool
-                ));
-            }
-        }
-        // Live accounting must match the map.
+        // Walk the tiling once: every free block with a pool assignment
+        // must be indexed with agreeing span and pool; used blocks must not
+        // be indexed; live accounting must match.
+        let mut matched = 0usize;
         let (mut live_req, mut live_block) = (0usize, 0usize);
-        for blk in self.blocks.iter() {
-            if !blk.is_free() {
+        for (_, blk) in self.blocks.iter() {
+            if blk.is_free() {
+                if blk.pool == UNINDEXED {
+                    continue;
+                }
+                let Some(&(pool, span)) = indexed.get(&blk.span.offset) else {
+                    return Err(format!(
+                        "free block at {} claims pool {} but is unindexed",
+                        blk.span.offset, blk.pool
+                    ));
+                };
+                if span != blk.span {
+                    return Err(format!(
+                        "indexed span {span:?} disagrees with {:?}",
+                        blk.span
+                    ));
+                }
+                if pool != blk.pool {
+                    return Err(format!(
+                        "indexed span {span:?} pool {pool} disagrees with block pool {}",
+                        blk.pool
+                    ));
+                }
+                matched += 1;
+            } else {
+                if indexed.contains_key(&blk.span.offset) {
+                    return Err(format!("indexed span at {} is not free", blk.span.offset));
+                }
                 live_req += blk.requested;
                 live_block += blk.span.len;
             }
         }
+        if matched != indexed.len() {
+            return Err(format!(
+                "{} indexed spans name no live free block in the tiling",
+                indexed.len() - matched
+            ));
+        }
         if live_req != self.stats.live_requested {
             return Err(format!(
-                "live_requested {} != map sum {live_req}",
+                "live_requested {} != tiling sum {live_req}",
                 self.stats.live_requested
             ));
         }
         if live_block != self.stats.live_block {
             return Err(format!(
-                "live_block {} != map sum {live_block}",
+                "live_block {} != tiling sum {live_block}",
                 self.stats.live_block
             ));
         }
@@ -515,19 +570,20 @@ impl Allocator for PolicyAllocator {
         let home = self.pools.route(block_len, &mut steps);
         let fit = self.cfg.fit;
 
-        let mut found: Option<(usize, Span)> = self
+        let mut found = self
             .pools
             .find_in(home, fit, block_len, &mut steps)
-            .map(|s| (home, s));
+            .map(|f| (home, f));
 
         // Exact fit missing its size falls through to splitting a larger
-        // block — A5's "activated according to the availability of the size
-        // of the memory block requested".
-        if found.is_none() && fit == FitAlgorithm::ExactFit && self.cfg.may_split() {
-            found = self
-                .pools
-                .find_in(home, FitAlgorithm::BestFit, block_len, &mut steps)
-                .map(|s| (home, s));
+        // block (the A5 availability rule — see `split_retry_fit`).
+        if found.is_none() {
+            if let Some(retry) = self.split_retry_fit() {
+                found = self
+                    .pools
+                    .find_in(home, retry, block_len, &mut steps)
+                    .map(|f| (home, f));
+            }
         }
 
         // Deferred coalescing reacts to an allocation miss.
@@ -536,15 +592,11 @@ impl Allocator for PolicyAllocator {
             && self.coalesce_dirty
         {
             self.sweep_coalesce(&mut steps);
-            let retry_fit = if fit == FitAlgorithm::ExactFit && self.cfg.may_split() {
-                FitAlgorithm::BestFit
-            } else {
-                fit
-            };
+            let retry_fit = self.split_retry_fit().unwrap_or(fit);
             found = self
                 .pools
                 .find_in(home, retry_fit, block_len, &mut steps)
-                .map(|s| (home, s));
+                .map(|f| (home, f));
         }
 
         // Segregated managers that can split search larger classes next.
@@ -553,82 +605,62 @@ impl Allocator for PolicyAllocator {
             && self.cfg.may_split()
         {
             for p in self.pools.pools_above(home) {
-                if let Some(s) = self.pools.find_in(p, FitAlgorithm::FirstFit, block_len, &mut steps)
+                if let Some(f) =
+                    self.pools
+                        .find_in(p, FitAlgorithm::FirstFit, block_len, &mut steps)
                 {
-                    found = Some((p, s));
+                    found = Some((p, f));
                     break;
                 }
             }
         }
 
-        let span = match found {
-            Some((pool, span)) => {
+        let (r, span) = match found {
+            Some((pool, f)) => {
                 self.pools
                     .index_mut(pool)
-                    .remove(span.offset, &mut steps)
+                    .remove(f.token, f.span, &mut steps)
                     .expect("found span must be indexed");
-                self.blocks
-                    .get_mut(span.offset)
-                    .expect("found span must be mapped")
-                    .pool = UNINDEXED;
-                span
+                self.blocks.set_pool(f.block, UNINDEXED);
+                (f.block, f.span)
             }
-            None => {
-                let (_, span) = self.grow(block_len, &mut steps)?;
-                span
-            }
+            None => self.grow(block_len, &mut steps)?,
         };
 
-        let kept = self.try_split(span, block_len, &mut steps);
+        let kept = self.try_split(r, block_len, &mut steps);
         let home_final = self.pools.route(kept, &mut steps);
-        let blk = self
-            .blocks
-            .get_mut(span.offset)
-            .expect("allocated block must exist");
-        blk.state = BlockState::Used;
-        blk.requested = req;
-        blk.pool = home_final;
+        self.blocks.set_used(r, req, home_final);
         steps += 1; // stamp the tag
 
         self.stats.on_alloc(req, kept);
         self.stats.search_steps += steps;
         self.sync_system();
-        Ok(BlockHandle::new(span.offset, 0))
+        Ok(BlockHandle::with_slot(span.offset, r.index(), 0))
     }
 
     fn free(&mut self, handle: BlockHandle) -> Result<()> {
         let mut steps = 1u64; // read the tag
         let offset = handle.offset();
-        let (req, len) = match self.blocks.get(offset) {
-            Some(b) if !b.is_free() => (b.requested, b.span.len),
-            _ => return Err(Error::InvalidFree { offset }),
+        let Some(r) = self.resolve_used(handle) else {
+            return Err(Error::InvalidFree { offset });
         };
+        let blk = *self.blocks.get(r);
+        let (req, len) = (blk.requested, blk.span.len);
         self.stats.on_free(req, len);
-        {
-            let blk = self.blocks.get_mut(offset).expect("checked above");
-            blk.state = BlockState::Free;
-            blk.requested = 0;
-            blk.pool = UNINDEXED;
-        }
+        self.blocks.set_free(r, UNINDEXED);
 
         match self.cfg.coalesce_when {
             CoalesceWhen::Always => {
-                let span = self.coalesce_at(offset, &mut steps);
+                let (mr, span) = self.coalesce_at(r, &mut steps);
                 let pool = self.pools.route(span.len, &mut steps);
-                self.blocks
-                    .get_mut(span.offset)
-                    .expect("merged block must exist")
-                    .pool = pool;
-                self.pools.index_mut(pool).insert(span, &mut steps);
+                self.blocks.set_pool(mr, pool);
+                self.index_free(mr, span, pool, &mut steps);
             }
             CoalesceWhen::Deferred | CoalesceWhen::Never => {
                 let span = Span::new(offset, len);
                 let pool = self.pools.route(len, &mut steps);
-                self.blocks
-                    .get_mut(offset)
-                    .expect("freed block must exist")
-                    .pool = pool;
-                self.pools.index_mut(pool).insert(span, &mut steps);
+                self.blocks.set_pool(r, pool);
+                self.index_free(r, span, pool, &mut steps);
                 if self.cfg.coalesce_when == CoalesceWhen::Deferred {
                     self.coalesce_dirty = true;
                 }
@@ -644,10 +676,11 @@ impl Allocator for PolicyAllocator {
     fn realloc(&mut self, handle: BlockHandle, new_req: usize) -> Result<BlockHandle> {
         let new_req = new_req.max(1);
         let offset = handle.offset();
-        let (old_req, old_len) = match self.blocks.get(offset) {
-            Some(b) if !b.is_free() => (b.requested, b.span.len),
-            _ => return Err(Error::InvalidFree { offset }),
+        let Some(r) = self.resolve_used(handle) else {
+            return Err(Error::InvalidFree { offset });
         };
+        let blk = *self.blocks.get(r);
+        let (old_req, old_len) = (blk.requested, blk.span.len);
         self.stats.reallocs += 1;
         let mut steps = 1u64; // read the tag
         let new_len = self.block_len_for(new_req);
@@ -660,8 +693,7 @@ impl Allocator for PolicyAllocator {
                     .split_trigger()
                     .is_none_or(|t| old_len - new_len < t));
         if fits_in_place {
-            let blk = self.blocks.get_mut(offset).expect("checked above");
-            blk.requested = new_req;
+            self.blocks.set_requested(r, new_req);
             self.stats.on_resize(old_req, new_req, old_len, old_len);
             self.stats.reallocs_in_place += 1;
             self.stats.search_steps += steps;
@@ -672,28 +704,22 @@ impl Allocator for PolicyAllocator {
         if new_len < old_len && self.cfg.may_split() {
             self.stats.splits += 1;
             steps += 2;
-            {
-                let blk = self.blocks.get_mut(offset).expect("checked above");
-                blk.span = Span::new(offset, new_len);
-                blk.requested = new_req;
-            }
+            self.blocks.set_len(r, new_len);
+            self.blocks.set_requested(r, new_req);
             let tail = offset + new_len;
             let tail_len = old_len - new_len;
-            self.insert_free_carved(tail, tail_len, &mut steps);
+            self.insert_free_carved(Some(r), tail, tail_len, &mut steps);
             if self.cfg.coalesce_when == CoalesceWhen::Always {
                 // Merge the tail with a free successor right away.
-                if let Some(tail_blk) = self.blocks.get(tail).copied() {
+                if let Some(tail_ref) = self.blocks.next(r) {
+                    let tail_blk = *self.blocks.get(tail_ref);
                     if tail_blk.is_free() && tail_blk.pool != UNINDEXED {
-                        let pool = tail_blk.pool;
-                        self.pools.index_mut(pool).remove(tail, &mut steps);
-                        self.blocks.get_mut(tail).expect("tail exists").pool = UNINDEXED;
-                        let span = self.coalesce_at(tail, &mut steps);
+                        self.unindex(&tail_blk, &mut steps);
+                        self.blocks.set_pool(tail_ref, UNINDEXED);
+                        let (mr, span) = self.coalesce_at(tail_ref, &mut steps);
                         let pool = self.pools.route(span.len, &mut steps);
-                        self.blocks
-                            .get_mut(span.offset)
-                            .expect("merged tail exists")
-                            .pool = pool;
-                        self.pools.index_mut(pool).insert(span, &mut steps);
+                        self.blocks.set_pool(mr, pool);
+                        self.index_free(mr, span, pool, &mut steps);
                     }
                 }
             }
@@ -707,24 +733,18 @@ impl Allocator for PolicyAllocator {
 
         // Case 3: grow in place by absorbing the free successor.
         if new_len > old_len && self.cfg.may_coalesce() {
-            if let Some(next) = self.blocks.next_of(offset).copied() {
+            if let Some(next_ref) = self.blocks.next(r) {
+                let next = *self.blocks.get(next_ref);
                 if next.is_free() && old_len + next.span.len >= new_len {
                     steps += 1;
-                    if next.pool != UNINDEXED {
-                        self.pools
-                            .index_mut(next.pool)
-                            .remove(next.span.offset, &mut steps);
-                    }
-                    self.blocks.remove(next.span.offset);
+                    self.unindex(&next, &mut steps);
+                    self.blocks.remove(next_ref);
                     let absorbed = old_len + next.span.len;
-                    {
-                        let blk = self.blocks.get_mut(offset).expect("checked above");
-                        blk.span = Span::new(offset, absorbed);
-                        blk.requested = new_req;
-                    }
+                    self.blocks.set_len(r, absorbed);
+                    self.blocks.set_requested(r, new_req);
                     self.stats.coalesces += 1;
                     // Split the surplus back off if the policy allows.
-                    let kept = self.try_split(Span::new(offset, absorbed), new_len, &mut steps);
+                    let kept = self.try_split(r, new_len, &mut steps);
                     self.stats.on_resize(old_req, new_req, old_len, kept);
                     self.stats.reallocs_in_place += 1;
                     self.stats.search_steps += steps;
@@ -747,6 +767,10 @@ impl Allocator for PolicyAllocator {
 
     fn stats(&self) -> &AllocStats {
         &self.stats
+    }
+
+    fn check_invariants(&self) -> std::result::Result<(), String> {
+        PolicyAllocator::check_invariants(self)
     }
 
     fn reset(&mut self) {
@@ -805,6 +829,19 @@ mod tests {
         let _ = m.alloc(64).unwrap();
         let bogus = BlockHandle::new(999_999, 0);
         assert!(m.free(bogus).is_err());
+    }
+
+    #[test]
+    fn slotless_handle_resolves_through_the_offset_fallback() {
+        // A handle minted without a tiling slot (the legacy constructor)
+        // must still free the used block starting at its offset.
+        let mut m = drr();
+        let h = m.alloc(64).unwrap();
+        assert!(h.slot().is_some(), "policy handles carry their slot");
+        let legacy = BlockHandle::new(h.offset(), 0);
+        m.free(legacy).unwrap();
+        assert_eq!(m.stats().live_requested, 0);
+        m.check_invariants().unwrap();
     }
 
     #[test]
@@ -876,6 +913,50 @@ mod tests {
     }
 
     #[test]
+    fn split_retry_fit_applies_to_splitting_exact_fit_only() {
+        // The deduplicated A5 fallback: an exact-fit manager that may
+        // split retries with best fit; everything else has no special
+        // retry (its own fit already searched).
+        assert_eq!(drr().split_retry_fit(), Some(FitAlgorithm::BestFit));
+        assert_eq!(kingsley().split_retry_fit(), None, "first fit: no retry");
+        assert_eq!(lea().split_retry_fit(), None, "best fit: no retry");
+        let no_split = presets::drr_paper()
+            .with_leaf(Leaf::E2(SplitWhen::Never))
+            .with_leaf(Leaf::A5(crate::space::trees::FlexibleSize::CoalesceOnly));
+        no_split.validate().unwrap();
+        let m = PolicyAllocator::new(no_split).unwrap();
+        assert_eq!(m.split_retry_fit(), None, "exact fit without split: no retry");
+    }
+
+    #[test]
+    fn exact_fit_split_retry_also_fires_after_a_deferred_sweep() {
+        // Both call sites of the retry selection: the plain miss and the
+        // post-sweep retry must pick best fit for a splitting exact-fit
+        // manager — the sweep-merged block is found and split, with no
+        // fresh system memory.
+        let mut cfg = presets::drr_paper();
+        cfg.coalesce_when = CoalesceWhen::Deferred;
+        cfg.params.trim_threshold = None;
+        cfg.validate().unwrap();
+        let mut m = PolicyAllocator::new(cfg).unwrap();
+        let hs: Vec<_> = (0..4).map(|_| m.alloc(300).unwrap()).collect();
+        for h in hs {
+            m.free(h).unwrap();
+        }
+        assert_eq!(m.stats().coalesces, 0, "deferred: nothing merged yet");
+        let sbrks = m.stats().sbrk_calls;
+        // 1000 bytes fit no single 300-byte block: exact fit misses, the
+        // best-fit retry misses, the sweep merges, the post-sweep best-fit
+        // retry finds the merged block and splits it.
+        let big = m.alloc(1000).unwrap();
+        assert!(m.stats().coalesces > 0, "sweep must have merged");
+        assert_eq!(m.stats().sbrk_calls, sbrks, "served from merged memory");
+        assert!(m.stats().splits > 0, "best-fit retry splits the big block");
+        m.free(big).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
     fn immediate_coalescing_restores_one_block() {
         let mut m = drr();
         // 8 x (600 + 4-byte tag -> 608) = 4864 bytes: once coalesced, the
@@ -942,7 +1023,7 @@ mod tests {
         assert!(m.stats().coalesces > 0, "miss must trigger the sweep");
         m.free(big).unwrap();
         m.check_invariants().unwrap();
-        for blk in m.blocks.iter() {
+        for (_, blk) in m.blocks.iter() {
             assert!(blk.span.len <= 1024, "cap violated: {:?}", blk.span);
         }
     }
@@ -959,7 +1040,7 @@ mod tests {
             m.free(h).unwrap();
         }
         m.check_invariants().unwrap();
-        for blk in m.blocks.iter() {
+        for (_, blk) in m.blocks.iter() {
             assert!(blk.span.len <= 512, "cap violated: {:?}", blk.span);
         }
     }

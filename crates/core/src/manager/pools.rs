@@ -9,7 +9,7 @@
 //! descriptor overhead bytes.
 
 use crate::heap::block::Span;
-use crate::heap::index::{new_index, FreeIndex};
+use crate::heap::index::{new_index, Found, FreeIndex};
 use crate::space::config::DmConfig;
 use crate::space::trees::{BlockSizes, BlockStructure, FitAlgorithm, PoolDivision, PoolStructure};
 use crate::units::{align_up, pow2_class, MIN_ALIGN, MIN_BLOCK, POINTER_BYTES, SIZE_FIELD_BYTES};
@@ -181,7 +181,7 @@ impl Pools {
         fit: FitAlgorithm,
         len: usize,
         steps: &mut u64,
-    ) -> Option<Span> {
+    ) -> Option<Found> {
         self.indexes[pool].find(fit, len, steps)
     }
 
@@ -336,16 +336,25 @@ mod tests {
 
     #[test]
     fn find_in_returns_indexed_spans_and_total_free_tracks_them() {
+        use crate::heap::tiling::BlockRef;
         use crate::space::trees::FitAlgorithm;
         let mut pools = Pools::new(&presets::drr_paper());
         let mut s = 0u64;
         let pool = pools.route(64, &mut s);
         assert_eq!(pools.total_free(), 0);
-        pools.index_mut(pool).insert(Span::new(0, 64), &mut s);
-        pools.index_mut(pool).insert(Span::new(128, 32), &mut s);
+        pools
+            .index_mut(pool)
+            .insert(Span::new(0, 64), BlockRef::from_index(0), &mut s);
+        pools
+            .index_mut(pool)
+            .insert(Span::new(128, 32), BlockRef::from_index(1), &mut s);
         assert_eq!(pools.total_free(), 2);
         let hit = pools.find_in(pool, FitAlgorithm::BestFit, 48, &mut s);
-        assert_eq!(hit, Some(Span::new(0, 64)), "best fit picks the 64-byte span");
+        assert_eq!(
+            hit.map(|f| (f.span, f.block)),
+            Some((Span::new(0, 64), BlockRef::from_index(0))),
+            "best fit picks the 64-byte span and reports its block"
+        );
         pools.clear();
         assert_eq!(pools.total_free(), 0);
     }

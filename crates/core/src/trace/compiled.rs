@@ -276,6 +276,15 @@ fn replay_compiled_inner<A: Allocator + ?Sized>(
             }
             Op::Phase => manager.set_phase(slot),
         }
+        // Same per-event contract as the classic interpreter: in debug
+        // builds, structural corruption fails at the event that caused it
+        // (throttled on very long traces — see `should_deep_check`).
+        #[cfg(debug_assertions)]
+        if super::should_deep_check(i) {
+            if let Err(e) = manager.check_invariants() {
+                panic!("invariants violated after event {i}: {e}");
+            }
+        }
         if let Some(ts) = series.as_mut() {
             if i % ts.sample_every == 0 {
                 let s = manager.stats();

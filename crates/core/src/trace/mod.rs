@@ -407,6 +407,18 @@ pub fn replay_sampled(
     replay_inner(trace, manager, Some(sample_every.max(1)))
 }
 
+/// Debug-build invariant-check schedule for the replay kernels: every
+/// event is checked through `DEEP_CHECK_EVENTS` (test-scale traces get
+/// exact causal attribution for any corruption), after which long replays
+/// are checked every `DEEP_CHECK_STRIDE` events — an O(heap) check per
+/// event is quadratic, and the debug suite replays million-event traces.
+#[cfg(debug_assertions)]
+pub(crate) fn should_deep_check(event: usize) -> bool {
+    const DEEP_CHECK_EVENTS: usize = 512;
+    const DEEP_CHECK_STRIDE: usize = 32;
+    event < DEEP_CHECK_EVENTS || event.is_multiple_of(DEEP_CHECK_STRIDE)
+}
+
 fn replay_inner(
     trace: &Trace,
     manager: &mut dyn Allocator,
@@ -429,6 +441,16 @@ fn replay_inner(
                 manager.free(h)?;
             }
             TraceEvent::Phase { phase } => manager.set_phase(*phase),
+        }
+        // Debug builds verify the manager's structural invariants after
+        // every event (throttled on very long traces — see
+        // `should_deep_check`), so a corrupted tiling or index fails at
+        // the event that caused it instead of thousands of events later.
+        #[cfg(debug_assertions)]
+        if should_deep_check(i) {
+            if let Err(e) = manager.check_invariants() {
+                panic!("invariants violated after event {i} ({ev:?}): {e}");
+            }
         }
         if let Some(ts) = series.as_mut() {
             if i % ts.sample_every == 0 {

@@ -494,6 +494,54 @@ proptest! {
         prop_assert_eq!(classic, fast);
     }
 
+    /// Differential check for the boundary-tag block store, across every
+    /// preset manager on flat **and** phased traces, through both replay
+    /// kernels: identical `FootprintStats` — footprints, peaks, and the
+    /// charged `search_steps` of the fit cost model. Because this suite
+    /// runs in debug builds, the per-event invariant hook additionally
+    /// cross-checks the intrusive neighbour list against the `BTreeMap`
+    /// `BlockMap` shadow oracle after every single event (identical block
+    /// sequences: span, state, requested bytes and pool), so any
+    /// divergence between the new tiling and the reference implementation
+    /// panics at the event that caused it.
+    #[test]
+    fn boundary_tag_tiling_is_oracle_checked_and_charge_identical(
+        flat in trace_strategy(90, 2048),
+        phased in phased_trace_strategy(25, 1024),
+    ) {
+        let mut scratch = ReplayScratch::new();
+        for trace in [&flat, &phased] {
+            let compiled = CompiledTrace::compile(trace);
+            for cfg in presets::all() {
+                let classic = replay(trace, &mut PolicyAllocator::new(cfg.clone()).expect("valid"))
+                    .expect("classic replay");
+                let fast = replay_compiled_with(
+                    &compiled,
+                    &mut PolicyAllocator::new(cfg.clone()).expect("valid"),
+                    &mut scratch,
+                ).expect("compiled replay");
+                prop_assert_eq!(&classic, &fast, "{}", cfg.name);
+                prop_assert!(classic.stats.search_steps > 0, "{} charged nothing", cfg.name);
+            }
+        }
+        // Sharded replays run the same per-event oracle checks shard by
+        // shard; the composition must agree with the manual classic one.
+        for cfg in [presets::drr_paper(), presets::lea_like()] {
+            let shards = shard_trace(&flat, 3);
+            let mut manual: Option<dmm::core::metrics::FootprintStats> = None;
+            for s in &shards {
+                let fs = replay(&s.trace, &mut PolicyAllocator::new(cfg.clone()).expect("valid"))
+                    .expect("classic replay");
+                match manual.as_mut() {
+                    None => manual = Some(fs),
+                    Some(acc) => acc.absorb_shard(&fs),
+                }
+            }
+            let composed = replay_shards_config(shards, &cfg).expect("sharded replay");
+            prop_assert_eq!(Some(composed.stats), manual, "{}", cfg.name);
+        }
+    }
+
     /// Sharded composition through the compiled path (what
     /// `replay_shards` runs, sharing one slot table across shards) equals
     /// the manual classic composition of the same shards.
