@@ -10,16 +10,20 @@
 //! Usage: `cargo run -p dmm-bench --release --bin replay_hot
 //! [--quick] [--csv] [--check] [--out=PATH]`
 //!
-//! `--check` is the CI regression tripwire; it exits non-zero when either
+//! `--check` is the CI regression tripwire; it exits non-zero when any
 //! gate fails:
 //!
 //! 1. **interpreter gate** — the compiled kernel must be at least as fast
 //!    as the classic interpreter on the `large_churn` nop row;
-//! 2. **manager-bound gate** — the end-to-end DRR-manager row must be at
-//!    least 1.3× the committed PR 4 baseline (normalised by the same
-//!    run's nop row, so machine speed cancels — see
-//!    `dmm_bench::Pr4Baseline`). This is the boundary-tag tiling's
-//!    speedup staying regression-guarded.
+//! 2. **manager-bound gate vs PR 4** — the end-to-end DRR-manager row
+//!    must be at least 1.3× the committed PR 4 baseline (normalised by
+//!    the same run's nop row, so machine speed cancels — see
+//!    `dmm_bench::GateBaseline`). This is the boundary-tag tiling's
+//!    speedup staying regression-guarded;
+//! 3. **manager-bound gate vs PR 5** — the same row must be at least
+//!    1.5× the PR 5 baseline, guarding the order-statistic free-list
+//!    layer's speedup (lazy rank replica, bitmap size set, O(1) hit
+//!    charges) at both quick and full scale.
 
 fn main() {
     let opts = dmm_bench::opts::parse();
@@ -57,22 +61,29 @@ fn main() {
             gate.speedup, gate.workload, gate.compiled_events_per_sec, gate.classic_events_per_sec
         );
 
-        // Manager-bound gate: the boundary-tag tiling must stay >= 1.3x
-        // the committed PR 4 manager simulation on the gate workload.
-        const MANAGER_GATE: f64 = 1.3;
+        // Manager-bound gates: the end-to-end manager simulation must stay
+        // >= 1.3x the committed PR 4 entry (boundary-tag tiling) and
+        // >= 1.5x the committed PR 5 entry (order-statistic free lists) on
+        // the gate workload.
+        const PR4_MANAGER_GATE: f64 = 1.3;
+        const PR5_MANAGER_GATE: f64 = 1.5;
         let mgr = report.manager_gate_row();
-        let speedup = report.manager_bound_speedup_vs_pr4;
-        if speedup < MANAGER_GATE {
+        for (label, gate, speedup) in [
+            ("PR 4", PR4_MANAGER_GATE, report.manager_bound_speedup_vs_pr4),
+            ("PR 5", PR5_MANAGER_GATE, report.manager_bound_speedup_vs_pr5),
+        ] {
+            if speedup < gate {
+                eprintln!(
+                    "REGRESSION: manager-bound replay on {} x {} is only {:.2}x the {label} baseline \
+                     (gate {gate}x; {:.0} ev/s now, normalised by the nop row)",
+                    mgr.workload, mgr.manager, speedup, mgr.compiled_events_per_sec
+                );
+                std::process::exit(1);
+            }
             eprintln!(
-                "REGRESSION: manager-bound replay on {} x {} is only {:.2}x the PR 4 baseline \
-                 (gate {MANAGER_GATE}x; {:.0} ev/s now, normalised by the nop row)",
-                mgr.workload, mgr.manager, speedup, mgr.compiled_events_per_sec
+                "manager-bound gate ok: {:.2}x the {label} baseline on {} x {} ({:.0} ev/s end-to-end)",
+                speedup, mgr.workload, mgr.manager, mgr.compiled_events_per_sec
             );
-            std::process::exit(1);
         }
-        eprintln!(
-            "manager-bound gate ok: {:.2}x the PR 4 baseline on {} x {} ({:.0} ev/s end-to-end)",
-            speedup, mgr.workload, mgr.manager, mgr.compiled_events_per_sec
-        );
     }
 }

@@ -8,37 +8,89 @@
 //! wants it (paper Section 5: "the most simple DDT that allows coalescing
 //! and splitting, i.e. double linked list").
 //!
-//! # Memoised walk distances
+//! # Rank-computed walk charges
 //!
-//! The slab keeps a size-keyed side table (`size_index`: per-size length
-//! counters plus LIFO position stacks, invalidated on every insert/remove)
-//! that lets it *compute* the step count of any walk whose charge does not
-//! depend on a hit's position in link order:
+//! Every node is stamped with a monotonically increasing `seq` on insert,
+//! and every insert is `push_front` — so **link order is exactly descending
+//! `seq`**, and with the rank key `u64::MAX - seq`, ascending key order *is*
+//! link order. The slab mirrors its membership into a flat order-statistic
+//! segment tree ([`SeqTree`], which exploits exactly that monotone stamp
+//! discipline) keyed that way (weight = span length) plus per-size LIFO
+//! buckets ([`SizeBuckets`]), which together compute every fit charge
+//! without touching a node:
 //!
-//! - every **miss** (no node satisfies the fit) is a full-list scan —
-//!   charge `len` in one add, return `None` without touching a node;
-//! - **best fit without an exact hit** and **worst fit** always scan the
-//!   whole list — charge `len`, resolve the winning node from the size
-//!   table (the first fitting node in link order is the most recently
-//!   inserted live node of the winning size, which is the top of that
-//!   size's stack);
-//! - an **exact-fit hit** charges the position of the first exact node, so
-//!   it walks — but the distance is memoised and reused until the next
-//!   insert/remove invalidates it.
+//! - a node's walk distance is `rank(key)` (first/next-fit hits, exact-fit
+//!   hits, and the singly-linked unlink charge);
+//! - a **miss** full scan charges `len` in one add; a first-fit walk that
+//!   terminates early at a parked next-fit cursor charges
+//!   `count_below(cursor key)`;
+//! - next-fit's two passes (cursor→tail, wrap, head→cursor) decompose into
+//!   `first_at_least_from` / `first_at_least_below` selects plus rank
+//!   arithmetic;
+//! - **best fit without an exact hit** and **worst fit** scan the whole
+//!   list (charge `len`) and resolve the winner from the size buckets: the
+//!   first fitting node in link order is the smallest key — i.e. the most
+//!   recently inserted live node — of the winning size (the bucket's LIFO
+//!   top; the largest live size is the rank tree's root max-weight).
 //!
-//! First/next-fit hits and singly-linked unlinks charge genuine positions
-//! and still walk: that is the modelled cost, not an implementation
-//! artefact. All charges are bit-identical to the faithful walks.
+//! # Demand-driven replica
+//!
+//! Everything above is simulator acceleration, so each piece exists only
+//! while it earns its maintenance:
+//!
+//! - **Short lists run bare.** Below [`LinkedSlab::ACTIVATE`] nodes no
+//!   replica is maintained at all — push and unlink are pure pointer ops
+//!   and every search runs the faithful walk, which over a handful of
+//!   nodes is cheaper than any replica lookup. Crossing the threshold
+//!   builds the size buckets ([`LinkedSlab::activate`]); shrinking far
+//!   below it drops back ([`LinkedSlab::deactivate`], with wide
+//!   hysteresis so churn around either edge cannot thrash rebuilds).
+//! - **The position tree is query-lazy.** Only rank/select *queries* —
+//!   the first/next-fit decompositions, worst-fit max, SLL unlink
+//!   positions — read [`SeqTree`]; exact- and best-fit *hit* charges come
+//!   off the faithful walk when the tree is down (the walk is the oracle,
+//!   so the value is identical and walking costs exactly what it
+//!   charges), and misses charge the list length. A configuration that
+//!   never issues a rank query — the paper's DRR manager: exact-then-best
+//!   fit over a doubly linked list — never pays a tree update. The first
+//!   query that needs it triggers [`LinkedSlab::ensure_pos`], which
+//!   restamps densely and builds the tree sized to the live list.
+//! - **The ordered size set is query-lazy too**: built by the first
+//!   best-fit search ([`SizeBuckets::ensure_ordered`]) as a two-level
+//!   bitmap over granule-aligned sizes (spilling odd sizes to a
+//!   `BTreeSet`), then maintained incrementally on live-size 0↔1
+//!   transitions.
+//!
+//! # Shadow oracle
+//!
+//! The faithful node-by-node walks stay compiled in ([`walk_search`],
+//! [`LinkedSlab::walk_distance`]) and every `find`/SLL `remove` asserts, in
+//! debug builds, that the computed answer AND charge are bit-identical to
+//! the walk — the same pattern as the boundary-tag `BlockMap` oracle. The
+//! replica's structural invariants (tree order == link order, weights ==
+//! span lengths, size buckets == live membership) are re-validated per
+//! replay event through [`FreeIndex::check_oracle`]. The rank structures
+//! are simulator-side acceleration, not part of the modelled manager, so
+//! they contribute nothing to `control_overhead_bytes`.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use crate::heap::block::Span;
+use crate::heap::index::rank::SeqTree;
 use crate::heap::index::{Found, FreeIndex};
 use crate::heap::tiling::BlockRef;
 use crate::space::trees::FitAlgorithm;
 use crate::units::POINTER_BYTES;
 
-const NIL: usize = usize::MAX;
+// Node links are stored as u32 (the slab cannot exceed u32 slots — slot
+// payloads in the rank replica are u32 already), so the nil sentinel is
+// u32::MAX widened: link reads cast to usize and compare against it.
+const NIL: usize = u32::MAX as usize;
+
+/// Rank key for a push stamp: ascending key order == link order.
+fn rank_key(seq: u64) -> u64 {
+    u64::MAX - seq
+}
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -46,30 +98,368 @@ struct Node {
     block: BlockRef,
     /// Unique push stamp: identifies this node across slot recycling.
     seq: u64,
-    prev: usize,
-    next: usize,
+    prev: u32,
+    next: u32,
     present: bool,
 }
 
-/// Per-size bookkeeping: how many live nodes have this exact size, and a
-/// LIFO stack of `(slot, seq)` push records. Stale records (their node was
-/// unlinked, or the slot recycled) are dropped lazily when the stack is
-/// consulted; the top valid record is always the most recently inserted
-/// live node of this size — exactly the first one a head-to-tail walk
-/// meets, because `push_front` keeps the list in reverse insertion order.
-#[derive(Debug, Clone, Default)]
-struct SizeBucket {
-    count: usize,
-    stack: Vec<(usize, u64)>,
+/// Ordered live-size set for the best-fit winner lookup: a two-level
+/// bitmap over [`SIZE_GRANULE`]-aligned sizes up to [`SIZE_LIMIT`], with a
+/// `BTreeSet` spill for sizes the bitmap cannot represent exactly. The
+/// bitmap makes the hot operations branch-light: membership flips are two
+/// bit ops, and the smallest-size-at-least query is a masked word scan.
+#[derive(Debug, Clone)]
+struct OrderedSizes {
+    /// Bit `w` set iff `words[w] != 0`.
+    summary: u64,
+    /// Bit `i` of word `i / 64` set iff size `(i + 1) * SIZE_GRANULE` is
+    /// live.
+    words: [u64; SIZE_WORDS],
+    /// Live sizes outside the bitmap's exact domain (unaligned or too
+    /// large). Empty for the common aligned workloads.
+    large: BTreeSet<usize>,
 }
 
-/// Memo of one exact-fit walk: valid while `generation` is unchanged.
-#[derive(Debug, Clone, Copy)]
-struct ExactMemo {
-    generation: u64,
-    len: usize,
-    slot: usize,
-    dist: u64,
+/// Bitmap size granule: the alignment every split/coalesce-produced span
+/// length shares in practice.
+const SIZE_GRANULE: usize = 8;
+/// Bitmap word count; covers sizes up to [`SIZE_LIMIT`].
+const SIZE_WORDS: usize = 64;
+/// Largest size the bitmap represents exactly.
+const SIZE_LIMIT: usize = SIZE_GRANULE * 64 * SIZE_WORDS;
+
+impl Default for OrderedSizes {
+    fn default() -> Self {
+        OrderedSizes {
+            summary: 0,
+            words: [0; SIZE_WORDS],
+            large: BTreeSet::new(),
+        }
+    }
+}
+
+impl OrderedSizes {
+    /// Bit index of `size`, when the bitmap represents it exactly.
+    #[inline(always)]
+    fn bit_of(size: usize) -> Option<usize> {
+        (size.is_multiple_of(SIZE_GRANULE) && (SIZE_GRANULE..=SIZE_LIMIT).contains(&size))
+            .then(|| size / SIZE_GRANULE - 1)
+    }
+
+    fn insert(&mut self, size: usize) {
+        match Self::bit_of(size) {
+            Some(i) => {
+                self.words[i / 64] |= 1u64 << (i % 64);
+                self.summary |= 1u64 << (i / 64);
+            }
+            None => {
+                self.large.insert(size);
+            }
+        }
+    }
+
+    fn remove(&mut self, size: usize) {
+        match Self::bit_of(size) {
+            Some(i) => {
+                let w = i / 64;
+                self.words[w] &= !(1u64 << (i % 64));
+                if self.words[w] == 0 {
+                    self.summary &= !(1u64 << w);
+                }
+            }
+            None => {
+                self.large.remove(&size);
+            }
+        }
+    }
+
+    fn contains(&self, size: usize) -> bool {
+        match Self::bit_of(size) {
+            Some(i) => self.words[i / 64] & (1u64 << (i % 64)) != 0,
+            None => self.large.contains(&size),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum::<usize>() + self.large.len()
+    }
+
+    /// Smallest live size `>= len`. The bitmap and the spill set are
+    /// consulted independently — the spill can hold unaligned sizes below
+    /// the bitmap's limit — and the smaller candidate wins.
+    fn smallest_at_least(&self, len: usize) -> Option<usize> {
+        let small = (len <= SIZE_LIMIT).then(|| self.scan_from(len)).flatten();
+        let big = self.large.range(len..).next().copied();
+        match (small, big) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// First set bit at or after `len`'s slot, as a size.
+    fn scan_from(&self, len: usize) -> Option<usize> {
+        let start = len.div_ceil(SIZE_GRANULE).max(1) - 1;
+        let (w0, b0) = (start / 64, start % 64);
+        let first = self.words[w0] & (!0u64 << b0);
+        if first != 0 {
+            return Some((w0 * 64 + first.trailing_zeros() as usize + 1) * SIZE_GRANULE);
+        }
+        let later = if w0 + 1 < 64 {
+            self.summary & (!0u64 << (w0 + 1))
+        } else {
+            0
+        };
+        if later != 0 {
+            let w = later.trailing_zeros() as usize;
+            let b = self.words[w].trailing_zeros() as usize;
+            return Some((w * 64 + b + 1) * SIZE_GRANULE);
+        }
+        None
+    }
+}
+
+/// Per-size LIFO buckets behind a small open-addressed hash table, plus a
+/// lazily enabled ordered size set for the best-fit winner lookup.
+///
+/// Each bucket stacks `(slot, seq)` push records for one size. Unlink
+/// decrements the live count and pops any dead records it exposes at the
+/// top, so **whenever `live > 0` the top record is the newest live node of
+/// that size** — the first one a head-to-tail walk meets — and every
+/// `newest_of_size` query is two loads. Buried records go stale in place
+/// and are reclaimed when exposed (or by the occasional retain sweep);
+/// they are record-keeping only and never consulted while stale.
+#[derive(Debug, Clone, Default)]
+struct SizeBuckets {
+    /// Open-addressed buckets; capacity is a power of two. `size == 0`
+    /// marks a never-occupied slot. Buckets whose live count drops to zero
+    /// persist (keeping their stack allocation for the size's return) and
+    /// are only dropped on rehash.
+    slots: Vec<Bucket>,
+    /// Occupied buckets, including live == 0 ones.
+    occupied: usize,
+    /// Live sizes in order, built on the first best-fit search that needs
+    /// an ordered winner and maintained incrementally afterwards.
+    ordered: Option<Box<OrderedSizes>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    size: usize,
+    live: u32,
+    stack: Vec<(u32, u64)>,
+}
+
+impl SizeBuckets {
+    /// Index of `size`'s bucket, or of the empty slot where it belongs.
+    /// Callers must ensure the table is non-empty and has a free slot.
+    #[inline(always)]
+    fn probe(&self, size: usize) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = (size.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & mask;
+        loop {
+            let s = self.slots[i].size;
+            if s == size || s == 0 {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn rehash_grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![Bucket::default(); cap]);
+        self.occupied = 0;
+        for b in old {
+            // Dead buckets (live == 0) hold only stale records: drop them.
+            if b.live > 0 {
+                let i = self.probe(b.size);
+                self.slots[i] = b;
+                self.occupied += 1;
+            }
+        }
+    }
+
+    fn on_push(&mut self, size: usize, slot: u32, seq: u64) {
+        debug_assert!(size > 0, "free spans are never empty");
+        if (self.occupied + 1) * 10 > self.slots.len() * 7 {
+            self.rehash_grow();
+        }
+        let i = self.probe(size);
+        let b = &mut self.slots[i];
+        if b.size == 0 {
+            b.size = size;
+            self.occupied += 1;
+        }
+        b.live += 1;
+        b.stack.push((slot, seq));
+        if b.live == 1 {
+            if let Some(set) = self.ordered.as_mut() {
+                set.insert(size);
+            }
+        }
+    }
+
+    /// Settle an unlink of a `size` node. The node is already marked dead
+    /// in `nodes`, so popping dead tops here re-establishes the live-top
+    /// invariant.
+    fn on_unlink(&mut self, size: usize, nodes: &[Node]) {
+        let i = self.probe(size);
+        let b = &mut self.slots[i];
+        debug_assert_eq!(b.size, size, "unlink of an unindexed size");
+        debug_assert!(b.live > 0, "unlink of a size with no live nodes");
+        b.live -= 1;
+        let alive =
+            |&(slot, seq): &(u32, u64)| nodes[slot as usize].present && nodes[slot as usize].seq == seq;
+        while let Some(top) = b.stack.last() {
+            if alive(top) {
+                break;
+            }
+            b.stack.pop();
+        }
+        // Mostly-stale stacks get compacted so buried records cannot
+        // accumulate past a small multiple of the live count.
+        if b.stack.len() >= 16 && b.stack.len() >= 4 * b.live as usize {
+            b.stack.retain(alive);
+        }
+        if b.live == 0 {
+            if let Some(set) = self.ordered.as_mut() {
+                set.remove(size);
+            }
+        }
+    }
+
+    /// The newest live node of exactly `size`, O(1).
+    #[inline(always)]
+    fn newest(&self, size: usize) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let b = &self.slots[self.probe(size)];
+        if b.size != size || b.live == 0 {
+            return None;
+        }
+        Some(b.stack.last().expect("live bucket has a live top").0)
+    }
+
+    /// Smallest live size `>= len`. Requires [`SizeBuckets::ensure_ordered`].
+    fn best_at_least(&self, len: usize) -> Option<usize> {
+        self.ordered
+            .as_ref()
+            .expect("ordered sizes enabled before a best-fit search")
+            .smallest_at_least(len)
+    }
+
+    /// Empty every bucket in place, keeping the table and each bucket's
+    /// stack allocation for the rebuild that follows. The ordered set is
+    /// dropped — the next best-fit search rebuilds it from live buckets.
+    fn reset(&mut self) {
+        for b in self.slots.iter_mut() {
+            b.size = 0;
+            b.live = 0;
+            b.stack.clear();
+        }
+        self.occupied = 0;
+        self.ordered = None;
+    }
+
+    /// Drop every stale record, validating against the nodes' *current*
+    /// stamps. First half of the owner's restamp protocol: must run while
+    /// the old stamps are still in place.
+    fn prune_dead(&mut self, nodes: &[Node]) {
+        for b in self.slots.iter_mut().filter(|b| b.size != 0) {
+            b.stack.retain(|&(slot, seq)| {
+                nodes[slot as usize].present && nodes[slot as usize].seq == seq
+            });
+            debug_assert_eq!(b.stack.len(), b.live as usize);
+        }
+    }
+
+    /// Rewrite every (pruned) record's stamp from its node. Second half of
+    /// the restamp protocol: runs after the owner reassigned stamps, which
+    /// preserves relative order, so each stack stays in push order. The
+    /// bucket topology (hash slots, live counts, ordered set) is untouched
+    /// — restamping changes no live membership.
+    fn restamp(&mut self, nodes: &[Node]) {
+        for b in self.slots.iter_mut().filter(|b| b.size != 0) {
+            for e in b.stack.iter_mut() {
+                e.1 = nodes[e.0 as usize].seq;
+            }
+        }
+    }
+
+    fn ensure_ordered(&mut self) {
+        if self.ordered.is_none() {
+            let mut set = Box::<OrderedSizes>::default();
+            for b in self.slots.iter().filter(|b| b.live > 0) {
+                set.insert(b.size);
+            }
+            self.ordered = Some(set);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.occupied = 0;
+        self.ordered = None;
+    }
+
+    /// Validate the buckets against the live-size census from a faithful
+    /// list walk.
+    fn check(
+        &self,
+        counts: &std::collections::HashMap<usize, u32>,
+        nodes: &[Node],
+    ) -> Result<(), String> {
+        let mut live_buckets = 0usize;
+        for b in self.slots.iter().filter(|b| b.size != 0) {
+            let want = counts.get(&b.size).copied().unwrap_or(0);
+            if b.live != want {
+                return Err(format!(
+                    "size bucket {} counts {} live nodes, list has {want}",
+                    b.size, b.live
+                ));
+            }
+            let alive = b
+                .stack
+                .iter()
+                .filter(|&&(slot, seq)| {
+                    nodes
+                        .get(slot as usize)
+                        .is_some_and(|n| n.present && n.seq == seq && n.span.len == b.size)
+                })
+                .count();
+            if alive as u32 != b.live {
+                return Err(format!(
+                    "size bucket {} stack holds {alive} live records for {} live nodes",
+                    b.size, b.live
+                ));
+            }
+            if b.live > 0 {
+                live_buckets += 1;
+                let &(slot, seq) = b.stack.last().ok_or_else(|| {
+                    format!("size bucket {} live but its stack is empty", b.size)
+                })?;
+                let newest = nodes
+                    .get(slot as usize)
+                    .filter(|n| n.present && n.seq == seq && n.span.len == b.size);
+                if newest.is_none() {
+                    return Err(format!("size bucket {} has a stale top record", b.size));
+                }
+            }
+        }
+        if counts.len() != live_buckets {
+            return Err(format!(
+                "list walks {} live sizes, buckets hold {live_buckets}",
+                counts.len()
+            ));
+        }
+        if let Some(set) = &self.ordered {
+            if set.len() != counts.len() || !counts.keys().all(|&s| set.contains(s)) {
+                return Err("ordered size set diverged from live sizes".into());
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Slab-backed intrusive list shared by both linked variants.
@@ -89,12 +479,31 @@ struct LinkedSlab {
     cursor: usize,
     /// Monotonic push stamp source.
     seq: u64,
-    /// Bumped on every insert/remove; invalidates position memos.
-    generation: u64,
-    /// Live sizes → count + LIFO stack. Buckets are removed when their
-    /// count reaches zero, so `range` queries only ever see live sizes.
-    size_index: BTreeMap<usize, SizeBucket>,
-    exact_memo: Option<ExactMemo>,
+    /// Order-statistic replica of the list: key `u64::MAX - seq`
+    /// (ascending == link order), weight = span length, payload = slot.
+    pos: SeqTree,
+    /// Per-size LIFO buckets: each bucket's top is the newest live node of
+    /// that size — the first one a head-to-tail walk meets, because
+    /// `push_front` keeps the list in reverse insertion order.
+    sizes: SizeBuckets,
+    /// Whether the rank replica is live. Short lists stay unindexed — the
+    /// faithful walk over a handful of nodes is cheaper than keeping the
+    /// replica coherent on every push and unlink — and the replica is
+    /// built the first time the list reaches [`LinkedSlab::ACTIVATE`]
+    /// nodes, then maintained until it shrinks far below the threshold.
+    /// Either way every answer and charge is the walk's, bit for bit:
+    /// below the threshold the walk runs, above it the rank layer computes
+    /// the same values (and debug builds assert so).
+    indexed: bool,
+    /// Whether the position tree is maintained. Like the ordered size set,
+    /// `pos` is demand-driven: only rank/select *queries* (first/next-fit
+    /// decompositions, worst-fit max, SLL unlink positions) need it, and a
+    /// configuration that never issues one — e.g. exact-then-best fit over
+    /// a doubly linked list, where hit charges come off the faithful walk
+    /// and miss charges are the list length — never pays its per-push and
+    /// per-unlink tree updates. The first query that needs the tree builds
+    /// it via [`LinkedSlab::renumber`] and maintenance starts from there.
+    pos_live: bool,
 }
 
 impl Default for LinkedSlab {
@@ -104,6 +513,12 @@ impl Default for LinkedSlab {
 }
 
 impl LinkedSlab {
+    /// List length at which the rank replica is built. Below this a fit
+    /// walk touches at most a few cache lines and beats the replica's
+    /// per-operation maintenance; above it walk costs grow linearly while
+    /// rank queries stay logarithmic.
+    const ACTIVATE: usize = 32;
+
     fn new() -> Self {
         LinkedSlab {
             nodes: Vec::new(),
@@ -112,21 +527,126 @@ impl LinkedSlab {
             len: 0,
             cursor: NIL,
             seq: 0,
-            generation: 0,
-            size_index: BTreeMap::new(),
-            exact_memo: None,
+            pos: SeqTree::new(),
+            sizes: SizeBuckets::default(),
+            indexed: false,
+            pos_live: false,
+        }
+    }
+
+    /// Restamp every live node with fresh dense stamps (preserving link
+    /// order) and rebuild the rank replica in a leaf space sized for the
+    /// live count. Run when the append-only stamp space fills and most of
+    /// it is dead: the replica's depth and footprint then track the *live*
+    /// list, not the total push history. Invisible to the cost model —
+    /// ranks are positions in link order, which restamping preserves.
+    /// Link order, head to tail, as a slot vector.
+    fn link_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            order.push(cur);
+            cur = self.nodes[cur].next as usize;
+        }
+        order
+    }
+
+    /// Restamp every live node with fresh dense stamps, tail first so they
+    /// ascend toward the head exactly as `push_front`'s do. Invisible to
+    /// the cost model — ranks are positions in link order, which
+    /// restamping preserves.
+    fn restamp_dense(&mut self, order: &[usize]) {
+        self.seq = 0;
+        for &slot in order.iter().rev() {
+            self.seq += 1;
+            self.nodes[slot].seq = self.seq;
+        }
+    }
+
+    /// Rebuild the position tree from freshly densified stamps, in a leaf
+    /// space sized for the live count. Must run right after
+    /// [`LinkedSlab::restamp_dense`]: the tree's leaves are allotted in
+    /// stamp order.
+    fn rebuild_pos(&mut self, order: &[usize]) {
+        self.pos.reset_with_room_for(order.len());
+        for &slot in order.iter().rev() {
+            let n = &self.nodes[slot];
+            self.pos.insert(rank_key(n.seq), n.span.len, slot as u32);
+        }
+    }
+
+    /// Build the rank replica's size buckets from the list, restamping
+    /// densely. Runs each time the list grows past [`LinkedSlab::ACTIVATE`]
+    /// while unindexed; any stale replica state from a previous active
+    /// phase is discarded by the rebuild. The position tree stays off
+    /// until a query demands it ([`LinkedSlab::ensure_pos`]).
+    fn activate(&mut self) {
+        debug_assert!(!self.indexed);
+        let order = self.link_order();
+        self.restamp_dense(&order);
+        self.sizes.reset();
+        for &slot in order.iter().rev() {
+            self.sizes
+                .on_push(self.nodes[slot].span.len, slot as u32, self.nodes[slot].seq);
+        }
+        self.indexed = true;
+        self.pos_live = false;
+    }
+
+    /// Stop maintaining the replica: the list has shrunk to where faithful
+    /// walks are cheaper again. Both structures are left stale in place —
+    /// nothing reads them while `indexed` is false, and the next
+    /// activation rebuilds them from the list. The wide gap between the
+    /// activation and deactivation thresholds keeps churn around either
+    /// one from thrashing rebuilds.
+    fn deactivate(&mut self) {
+        debug_assert!(self.indexed);
+        self.indexed = false;
+    }
+
+    /// Rebuild the position tree in a leaf space sized for the live count.
+    /// Runs on activation, and when the append-only stamp space fills and
+    /// most of it is dead: the tree's depth and footprint then track the
+    /// *live* list, not the total push history. The size buckets are
+    /// pruned and restamped in place — their topology doesn't depend on
+    /// the stamps.
+    fn renumber(&mut self) {
+        // The buckets' stale records can only be recognised while the old
+        // stamps are in place, so prune first, restamp last.
+        self.sizes.prune_dead(&self.nodes);
+        let order = self.link_order();
+        self.restamp_dense(&order);
+        self.rebuild_pos(&order);
+        self.sizes.restamp(&self.nodes);
+    }
+
+    /// Build (if not yet maintained) the position tree a rank/select query
+    /// is about to read, and keep it maintained from here on.
+    fn ensure_pos(&mut self) {
+        if self.indexed && !self.pos_live {
+            self.renumber();
+            self.pos_live = true;
         }
     }
 
     fn push_front(&mut self, span: Span, block: BlockRef) -> usize {
+        // The 4x slack keeps renumbering amortised: at least 3/4 of the
+        // leaf space is reclaimed dead stamps, so at least 3x the live
+        // count in pushes must elapse before the space can fill again.
+        if self.indexed
+            && self.pos_live
+            && self.pos.at_capacity()
+            && 4 * self.len <= self.pos.capacity()
+        {
+            self.renumber();
+        }
         self.seq += 1;
-        self.generation += 1;
         let node = Node {
             span,
             block,
             seq: self.seq,
-            prev: NIL,
-            next: self.head,
+            prev: NIL as u32,
+            next: self.head as u32,
             present: true,
         };
         let slot = match self.free_slots.pop() {
@@ -147,120 +667,120 @@ impl LinkedSlab {
             }
         };
         if self.head != NIL {
-            self.nodes[self.head].prev = slot;
+            self.nodes[self.head].prev = slot as u32;
         }
         self.head = slot;
         self.len += 1;
-        let bucket = self.size_index.entry(span.len).or_default();
-        bucket.count += 1;
-        bucket.stack.push((slot, self.seq));
-        // Bound stale records: compact (order-preserving) when the stack
-        // outgrows its live population.
-        if bucket.stack.len() > 8 && bucket.stack.len() > 2 * bucket.count {
-            let nodes = &self.nodes;
-            bucket
-                .stack
-                .retain(|&(s, q)| nodes[s].present && nodes[s].seq == q);
+        if self.indexed {
+            self.sizes.on_push(span.len, slot as u32, self.seq);
+            if self.pos_live {
+                self.pos.insert(rank_key(self.seq), span.len, slot as u32);
+            }
+        } else if self.len >= Self::ACTIVATE {
+            self.activate();
         }
         slot
     }
 
     fn unlink(&mut self, slot: usize) -> Span {
-        let (prev, next, span) = {
+        let (prev, next, span, seq) = {
             let n = &self.nodes[slot];
-            (n.prev, n.next, n.span)
+            (n.prev as usize, n.next as usize, n.span, n.seq)
         };
-        self.generation += 1;
         if self.cursor == slot {
             self.cursor = next;
         }
         if prev != NIL {
-            self.nodes[prev].next = next;
+            self.nodes[prev].next = next as u32;
         } else {
             self.head = next;
         }
         if next != NIL {
-            self.nodes[next].prev = prev;
+            self.nodes[next].prev = prev as u32;
         }
         self.nodes[slot].present = false;
         self.free_slots.push(slot);
         self.len -= 1;
-        let bucket = self
-            .size_index
-            .get_mut(&span.len)
-            .expect("unlinked node's size must be counted");
-        bucket.count -= 1;
-        if bucket.count == 0 {
-            // Dropping the bucket drops its (now entirely stale) stack.
-            self.size_index.remove(&span.len);
+        if self.indexed {
+            self.sizes.on_unlink(span.len, &self.nodes);
+            if self.pos_live {
+                let removed = self.pos.remove(rank_key(seq));
+                debug_assert!(removed, "unlinked node must be in the rank replica");
+            }
+            if self.len < Self::ACTIVATE / 8 {
+                self.deactivate();
+            }
         }
         span
     }
 
-    /// Walk distance from the head to `slot` (for the SLL unlink charge).
+    /// Faithful walk distance from the head to `slot` — the shadow oracle
+    /// for [`LinkedSlab::position_of`].
     fn walk_distance(&self, slot: usize) -> u64 {
         let mut cur = self.head;
         let mut dist = 0;
         while cur != NIL && cur != slot {
-            cur = self.nodes[cur].next;
+            cur = self.nodes[cur].next as usize;
             dist += 1;
         }
         dist + 1
     }
 
+    /// 1-based position of a live slot in link order — by rank query once
+    /// the replica is live, bit-identical to [`LinkedSlab::walk_distance`].
+    fn position_of(&self, slot: usize) -> u64 {
+        if !self.indexed || !self.pos_live {
+            return self.walk_distance(slot);
+        }
+        let dist = self.pos.rank(rank_key(self.nodes[slot].seq));
+        debug_assert_eq!(dist, self.walk_distance(slot), "rank diverged from walk");
+        dist
+    }
+
     /// The most recently inserted live node of exactly `size` — the first
-    /// such node a head-to-tail walk meets. O(1) amortised (lazy stack
-    /// cleanup).
-    fn newest_of_size(&mut self, size: usize) -> Option<usize> {
-        let bucket = self.size_index.get_mut(&size)?;
-        debug_assert!(bucket.count > 0);
-        while let Some(&(slot, seq)) = bucket.stack.last() {
-            if self.nodes[slot].present && self.nodes[slot].seq == seq {
-                return Some(slot);
-            }
-            bucket.stack.pop();
+    /// such node a head-to-tail walk meets.
+    fn newest_of_size(&self, size: usize) -> Option<usize> {
+        self.sizes.newest(size).map(|slot| slot as usize)
+    }
+
+    /// The walk charge for hitting `slot` as the first fitting node: its
+    /// 1-based position in link order. Answered by rank query when the
+    /// position tree is maintained, by the faithful walk itself when not —
+    /// the walk *is* the oracle, so the values are identical, and walking
+    /// costs exactly what it charges.
+    fn hit_distance(&self, slot: usize) -> u64 {
+        if self.pos_live {
+            let dist = self.pos.rank(rank_key(self.nodes[slot].seq));
+            debug_assert_eq!(dist, self.walk_distance(slot), "rank diverged from walk");
+            dist
+        } else {
+            self.walk_distance(slot)
         }
-        unreachable!("bucket with live count has a live stack record");
     }
 
-    /// Smallest live size `>= len`, if any.
-    fn best_size_at_least(&self, len: usize) -> Option<usize> {
-        self.size_index.range(len..).next().map(|(&s, _)| s)
+    /// The first node in link order whose size is the smallest live size
+    /// `>= len` — the best-fit winner when no exact size is live. Requires
+    /// [`LinkedSlab::ensure_ordered_sizes`].
+    fn newest_of_best_size(&self, len: usize) -> Option<usize> {
+        self.newest_of_size(self.sizes.best_at_least(len)?)
     }
 
-    /// Largest live size, if any.
+    /// Largest live size, if any — the position tree's root max-weight
+    /// (its weights *are* the live span lengths). Indexed only; unindexed
+    /// searches walk the list instead.
     fn max_size(&self) -> Option<usize> {
-        self.size_index.keys().next_back().copied()
+        debug_assert!(self.indexed && self.pos_live);
+        match self.pos.max_weight() {
+            0 => None,
+            m => Some(m),
+        }
     }
 
-    /// Walk to the first node of exactly `len`, charging one step per node
-    /// visited (the faithful exact-fit walk), with the distance memoised
-    /// until the next insert/remove. Caller guarantees such a node exists.
-    fn exact_walk(&mut self, len: usize, steps: &mut u64) -> usize {
-        if let Some(m) = self.exact_memo {
-            if m.generation == self.generation && m.len == len {
-                debug_assert!(self.nodes[m.slot].present && self.nodes[m.slot].span.len == len);
-                *steps += m.dist;
-                return m.slot;
-            }
-        }
-        let mut cur = self.head;
-        let mut dist = 0u64;
-        loop {
-            debug_assert_ne!(cur, NIL, "exact_walk requires a present size");
-            dist += 1;
-            if self.nodes[cur].span.len == len {
-                self.exact_memo = Some(ExactMemo {
-                    generation: self.generation,
-                    len,
-                    slot: cur,
-                    dist,
-                });
-                *steps += dist;
-                return cur;
-            }
-            cur = self.nodes[cur].next;
-        }
+    /// Build (if not yet built) the ordered live-size set the best-fit
+    /// winner lookup reads. The search paths themselves are `&self`, so
+    /// the index wrappers call this before any best-fit search.
+    fn ensure_ordered_sizes(&mut self) {
+        self.sizes.ensure_ordered();
     }
 
     fn iter(&self) -> LinkedIter<'_> {
@@ -276,9 +796,11 @@ impl LinkedSlab {
         self.head = NIL;
         self.len = 0;
         self.cursor = NIL;
-        self.generation += 1;
-        self.size_index.clear();
-        self.exact_memo = None;
+        self.seq = 0;
+        self.pos.clear();
+        self.sizes.clear();
+        self.indexed = false;
+        self.pos_live = false;
     }
 
     fn found(&self, slot: usize) -> Found {
@@ -288,6 +810,55 @@ impl LinkedSlab {
             block: n.block,
             token: slot,
         }
+    }
+
+    /// Validate the rank replica against the list itself: every live node
+    /// has its leaf (with its span length and slot) in the tree, link order
+    /// is strictly descending stamp order (so leaf order == link order),
+    /// and the size buckets match live membership exactly.
+    fn check_replica(&self) -> Result<(), String> {
+        let mut counts: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let mut walked = 0usize;
+        let mut last_seq = u64::MAX;
+        for (slot, span) in self.iter() {
+            let n = &self.nodes[slot];
+            if n.seq >= last_seq {
+                return Err(format!(
+                    "link order is not descending stamps at slot {slot} (seq {})",
+                    n.seq
+                ));
+            }
+            last_seq = n.seq;
+            if self.indexed && self.pos_live {
+                match self.pos.leaf_entry(rank_key(n.seq)) {
+                    Some((w, p)) if w == span.len && p as usize == slot => {}
+                    other => {
+                        return Err(format!(
+                            "rank replica leaf for slot {slot} diverged: {other:?} vs ({}, {slot})",
+                            span.len
+                        ));
+                    }
+                }
+            }
+            *counts.entry(span.len).or_default() += 1;
+            walked += 1;
+        }
+        // While unindexed the position tree is stale by design — nothing
+        // reads it — so only its indexed mirror is checked.
+        if walked != self.len || (self.indexed && self.pos_live && self.pos.len() != self.len) {
+            return Err(format!(
+                "list walks {walked} nodes, slab counts {}, rank replica {}",
+                self.len,
+                self.pos.len()
+            ));
+        }
+        if self.indexed {
+            self.sizes.check(&counts, &self.nodes)?;
+        }
+        if self.cursor != NIL && !self.nodes.get(self.cursor).is_some_and(|n| n.present) {
+            return Err(format!("cursor {} names a dead slot", self.cursor));
+        }
+        Ok(())
     }
 }
 
@@ -305,29 +876,18 @@ impl Iterator for LinkedIter<'_> {
         }
         let slot = self.cur;
         let node = &self.slab.nodes[slot];
-        self.cur = node.next;
+        self.cur = node.next as usize;
         Some((slot, node.span))
     }
 }
 
-/// Generic fit search over the list's link order. Charges are bit-identical
-/// to the faithful node-by-node walks (see the module docs for which cases
-/// are computed rather than iterated).
-fn search(slab: &mut LinkedSlab, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<usize> {
+/// The faithful node-by-node fit walk — the shadow oracle for [`search`].
+/// This is the modelled cost: every charge [`search`] computes by rank
+/// query must equal what this walk would have charged.
+fn walk_search(slab: &LinkedSlab, fit: FitAlgorithm, len: usize) -> (Option<usize>, u64) {
+    let mut steps = 0u64;
     match fit {
         FitAlgorithm::FirstFit | FitAlgorithm::NextFit => {
-            // Miss fast path. A next-fit miss visits every node exactly
-            // once whatever the cursor (cursor→tail, then head→cursor).
-            // A first-fit walk, however, terminates early at a parked
-            // next-fit cursor (`wrapped && cur == start` below), so its
-            // miss charge is only the full scan when no cursor is parked
-            // — with one parked, fall through to the faithful walk.
-            if slab.best_size_at_least(len).is_none()
-                && (fit == FitAlgorithm::NextFit || slab.cursor == NIL)
-            {
-                *steps += slab.len as u64;
-                return None;
-            }
             let start = slab.cursor;
             // NextFit: first pass from the cursor, then wrap to the head.
             let mut cur = if fit == FitAlgorithm::NextFit && start != NIL {
@@ -339,55 +899,204 @@ fn search(slab: &mut LinkedSlab, fit: FitAlgorithm, len: usize, steps: &mut u64)
             loop {
                 if cur == NIL {
                     if wrapped {
-                        return None;
+                        return (None, steps);
                     }
                     wrapped = true;
                     cur = slab.head;
                     if cur == NIL {
-                        return None;
+                        return (None, steps);
                     }
                 }
-                *steps += 1;
+                steps += 1;
                 let node = &slab.nodes[cur];
                 if node.span.len >= len {
-                    return Some(cur);
+                    return (Some(cur), steps);
                 }
-                cur = node.next;
+                cur = node.next as usize;
                 if wrapped && cur == start {
-                    return None;
+                    return (None, steps);
+                }
+            }
+        }
+        FitAlgorithm::BestFit => {
+            let mut best: Option<usize> = None;
+            let mut cur = slab.head;
+            while cur != NIL {
+                steps += 1;
+                let node = &slab.nodes[cur];
+                if node.span.len >= len
+                    && best.is_none_or(|b| node.span.len < slab.nodes[b].span.len)
+                {
+                    best = Some(cur);
+                    if node.span.len == len {
+                        break; // cannot do better than exact
+                    }
+                }
+                cur = node.next as usize;
+            }
+            (best, steps)
+        }
+        FitAlgorithm::WorstFit => {
+            let mut worst: Option<usize> = None;
+            let mut cur = slab.head;
+            while cur != NIL {
+                steps += 1;
+                let node = &slab.nodes[cur];
+                if node.span.len >= len
+                    && worst.is_none_or(|w| node.span.len > slab.nodes[w].span.len)
+                {
+                    worst = Some(cur);
+                }
+                cur = node.next as usize;
+            }
+            (worst, steps)
+        }
+        FitAlgorithm::ExactFit => {
+            let mut cur = slab.head;
+            while cur != NIL {
+                steps += 1;
+                if slab.nodes[cur].span.len == len {
+                    return (Some(cur), steps);
+                }
+                cur = slab.nodes[cur].next as usize;
+            }
+            (None, steps)
+        }
+    }
+}
+
+/// Generic fit search over the list's link order, with every charge
+/// computed by rank/select query — bit-identical to [`walk_search`] (see
+/// the module docs for the decomposition per fit).
+fn search(slab: &LinkedSlab, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<usize> {
+    if !slab.indexed {
+        // Below the activation threshold the faithful walk *is* the
+        // implementation: over a handful of nodes it touches fewer cache
+        // lines than any replica lookup, and it is the oracle — answer
+        // and charge are identical by construction.
+        let (slot, walked) = walk_search(slab, fit, len);
+        *steps += walked;
+        return slot;
+    }
+    let total = slab.len as u64;
+    match fit {
+        FitAlgorithm::FirstFit => {
+            debug_assert!(slab.pos_live, "first-fit search needs the position tree");
+            // A first-fit walk terminates early at a parked next-fit cursor
+            // (`wrapped && cur == start` in the faithful walk), so with one
+            // parked away from the head it only ever sees the positions
+            // before the cursor.
+            if slab.cursor == NIL || slab.cursor == slab.head {
+                match slab.pos.first_at_least(len) {
+                    Some((key, slot)) => {
+                        *steps += slab.pos.rank(key);
+                        Some(slot as usize)
+                    }
+                    None => {
+                        *steps += total;
+                        None
+                    }
+                }
+            } else {
+                let ck = rank_key(slab.nodes[slab.cursor].seq);
+                match slab.pos.first_at_least_below(ck, len) {
+                    Some((key, slot)) => {
+                        *steps += slab.pos.rank(key);
+                        Some(slot as usize)
+                    }
+                    None => {
+                        *steps += slab.pos.count_below(ck);
+                        None
+                    }
+                }
+            }
+        }
+        FitAlgorithm::NextFit => {
+            debug_assert!(slab.pos_live, "next-fit search needs the position tree");
+            if slab.cursor == NIL {
+                match slab.pos.first_at_least(len) {
+                    Some((key, slot)) => {
+                        *steps += slab.pos.rank(key);
+                        Some(slot as usize)
+                    }
+                    None => {
+                        *steps += total;
+                        None
+                    }
+                }
+            } else {
+                // Pass 1 covers the cursor position onward; the wrap pass
+                // covers the positions before it.
+                let ck = rank_key(slab.nodes[slab.cursor].seq);
+                let before_cursor = slab.pos.count_below(ck);
+                if let Some((key, slot)) = slab.pos.first_at_least_from(ck, len) {
+                    *steps += slab.pos.rank(key) - before_cursor;
+                    Some(slot as usize)
+                } else if let Some((key, slot)) = slab.pos.first_at_least_below(ck, len) {
+                    *steps += (total - before_cursor) + slab.pos.rank(key);
+                    Some(slot as usize)
+                } else {
+                    *steps += total;
+                    None
                 }
             }
         }
         FitAlgorithm::BestFit => {
             // With an exact-size node present the faithful walk stops at
-            // the first one (cannot do better than exact): identical to
-            // the exact-fit walk, memo included.
-            if slab.size_index.contains_key(&len) {
-                return Some(slab.exact_walk(len, steps));
+            // the first one (cannot do better than exact).
+            if let Some(slot) = slab.newest_of_size(len) {
+                *steps += slab.hit_distance(slot);
+                return Some(slot);
             }
             // No exact node: the walk visits every node, and the winner is
             // the first node of the smallest fitting size in link order —
             // the most recent insertion of that size.
-            *steps += slab.len as u64;
-            let best = slab.best_size_at_least(len)?;
-            Some(slab.newest_of_size(best).expect("live size has a node"))
+            *steps += total;
+            slab.newest_of_best_size(len)
         }
         FitAlgorithm::WorstFit => {
             // The walk always visits every node; the winner is the first
             // node of the largest size in link order.
-            *steps += slab.len as u64;
+            *steps += total;
             let max = slab.max_size().filter(|&m| m >= len)?;
             Some(slab.newest_of_size(max).expect("live size has a node"))
         }
         FitAlgorithm::ExactFit => {
-            if !slab.size_index.contains_key(&len) {
-                // Miss: a full scan found nothing.
-                *steps += slab.len as u64;
-                return None;
+            match slab.newest_of_size(len) {
+                Some(slot) => {
+                    *steps += slab.hit_distance(slot);
+                    Some(slot)
+                }
+                None => {
+                    // Miss: a full scan found nothing.
+                    *steps += total;
+                    None
+                }
             }
-            Some(slab.exact_walk(len, steps))
         }
     }
+}
+
+/// Rank-computed search checked against the faithful walk in debug builds.
+fn checked_search(
+    slab: &LinkedSlab,
+    fit: FitAlgorithm,
+    len: usize,
+    steps: &mut u64,
+) -> Option<usize> {
+    let mut charged = 0u64;
+    let slot = search(slab, fit, len, &mut charged);
+    #[cfg(debug_assertions)]
+    {
+        let (walk_slot, walk_steps) = walk_search(slab, fit, len);
+        debug_assert_eq!(
+            (slot, charged),
+            (walk_slot, walk_steps),
+            "rank-computed {fit:?} search for {len} diverged from the faithful walk"
+        );
+    }
+    *steps += charged;
+    slot
 }
 
 /// A LIFO singly linked free list.
@@ -417,16 +1126,33 @@ impl FreeIndex for SllIndex {
             return None; // stale token: entry already removed or slot reused
         }
         let block = node.block;
-        // A singly linked list must walk to the predecessor to unlink.
-        *steps += self.slab.walk_distance(token);
+        // A singly linked list must walk to the predecessor to unlink;
+        // the charge is the node's position, computed by rank query.
+        self.slab.ensure_pos();
+        *steps += self.slab.position_of(token);
         self.slab.unlink(token);
         Some(block)
     }
 
     fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found> {
-        let slot = search(&mut self.slab, fit, len, steps)?;
+        // The search paths are `&slab`: build whatever lazily maintained
+        // structure this fit reads before descending. Best fit needs the
+        // ordered live-size set; the roving/scanning fits decompose their
+        // charges through the position tree.
+        match fit {
+            FitAlgorithm::BestFit => {
+                if self.slab.indexed {
+                    self.slab.ensure_ordered_sizes();
+                }
+            }
+            FitAlgorithm::FirstFit | FitAlgorithm::NextFit | FitAlgorithm::WorstFit => {
+                self.slab.ensure_pos();
+            }
+            FitAlgorithm::ExactFit => {}
+        }
+        let slot = checked_search(&self.slab, fit, len, steps)?;
         if fit == FitAlgorithm::NextFit {
-            self.slab.cursor = self.slab.nodes[slot].next;
+            self.slab.cursor = self.slab.nodes[slot].next as usize;
         }
         Some(self.slab.found(slot))
     }
@@ -445,6 +1171,10 @@ impl FreeIndex for SllIndex {
 
     fn control_overhead_bytes(&self) -> usize {
         POINTER_BYTES // the head pointer
+    }
+
+    fn check_oracle(&self) -> Result<(), String> {
+        self.slab.check_replica()
     }
 }
 
@@ -481,9 +1211,24 @@ impl FreeIndex for DllIndex {
     }
 
     fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found> {
-        let slot = search(&mut self.slab, fit, len, steps)?;
+        // The search paths are `&slab`: build whatever lazily maintained
+        // structure this fit reads before descending. Best fit needs the
+        // ordered live-size set; the roving/scanning fits decompose their
+        // charges through the position tree.
+        match fit {
+            FitAlgorithm::BestFit => {
+                if self.slab.indexed {
+                    self.slab.ensure_ordered_sizes();
+                }
+            }
+            FitAlgorithm::FirstFit | FitAlgorithm::NextFit | FitAlgorithm::WorstFit => {
+                self.slab.ensure_pos();
+            }
+            FitAlgorithm::ExactFit => {}
+        }
+        let slot = checked_search(&self.slab, fit, len, steps)?;
         if fit == FitAlgorithm::NextFit {
-            self.slab.cursor = self.slab.nodes[slot].next;
+            self.slab.cursor = self.slab.nodes[slot].next as usize;
         }
         Some(self.slab.found(slot))
     }
@@ -502,6 +1247,10 @@ impl FreeIndex for DllIndex {
 
     fn control_overhead_bytes(&self) -> usize {
         2 * POINTER_BYTES // head + tail pointers
+    }
+
+    fn check_oracle(&self) -> Result<(), String> {
+        self.slab.check_replica()
     }
 }
 
@@ -638,11 +1387,11 @@ mod tests {
         assert!(idx.find(FitAlgorithm::NextFit, 64, &mut s).is_some());
     }
 
-    /// The memoised fast paths must charge and answer exactly what the
-    /// faithful walk would: cross-check every fit against a reference
-    /// walk on a churned list.
+    /// The rank-computed fast paths must charge and answer exactly what
+    /// the faithful walk would: cross-check every fit — and the SLL unlink
+    /// charge — against an independent flat reference on a churned list.
     #[test]
-    fn memoised_search_matches_reference_walk() {
+    fn computed_search_matches_reference_walk() {
         #[derive(Clone)]
         struct RefList(Vec<Span>); // head first
         impl RefList {
@@ -695,9 +1444,13 @@ mod tests {
             }
         }
 
+        // The DLL carries the fit probes; a mirrored SLL cross-checks the
+        // position-charged unlinks against the reference index.
         let mut idx = DllIndex::new();
+        let mut sll = SllIndex::new();
         let mut reference = RefList(Vec::new());
-        let mut tokens: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut tokens: std::collections::HashMap<usize, (usize, usize)> =
+            std::collections::HashMap::new();
         let mut s = 0u64;
         let mut x: u64 = 0x1234_5678_9ABC_DEF1;
         let mut next_off = 0usize;
@@ -709,16 +1462,23 @@ mod tests {
                 let span = Span::new(next_off, 16 + (x % 9) as usize * 8);
                 next_off += 4096;
                 let t = idx.insert(span, bref(span.offset), &mut s);
-                tokens.insert(span.offset, t);
+                let t_sll = sll.insert(span, bref(span.offset), &mut s);
+                tokens.insert(span.offset, (t, t_sll));
                 reference.0.insert(0, span);
             } else {
                 let i = (x as usize / 5) % reference.0.len();
                 let span = reference.0.remove(i);
-                idx.remove(tokens.remove(&span.offset).unwrap(), span, &mut s)
-                    .unwrap();
+                let (t, t_sll) = tokens.remove(&span.offset).unwrap();
+                idx.remove(t, span, &mut s).unwrap();
+                // The SLL unlink charge is the node's 1-based position in
+                // link order — which is its index in the flat reference.
+                let mut unlink = 0u64;
+                sll.remove(t_sll, span, &mut unlink).unwrap();
+                assert_eq!(unlink, i as u64 + 1, "SLL unlink charge diverged");
             }
             // Probe every non-roving fit at several sizes, comparing both
-            // the answer and the charge to the reference walk.
+            // the answer and the charge to the reference walk. (NextFit is
+            // covered by the in-find walk oracle via the roving tests.)
             for fit in [
                 FitAlgorithm::FirstFit,
                 FitAlgorithm::BestFit,
@@ -733,6 +1493,8 @@ mod tests {
                     assert_eq!(got_steps, want_steps, "{fit:?}/{len} charge diverged");
                 }
             }
+            idx.check_oracle().unwrap();
+            sll.check_oracle().unwrap();
         }
     }
 
@@ -762,7 +1524,7 @@ mod tests {
     }
 
     #[test]
-    fn exact_memo_reuses_the_walk_distance() {
+    fn exact_fit_rank_matches_the_walk_distance() {
         let mut idx = DllIndex::new();
         let mut s = 0u64;
         for i in 0..8 {
@@ -772,13 +1534,68 @@ mod tests {
         let a = idx.find(FitAlgorithm::ExactFit, 48, &mut first).unwrap();
         let mut second = 0u64;
         let b = idx.find(FitAlgorithm::ExactFit, 48, &mut second).unwrap();
-        assert_eq!(a, b, "memo must return the same node");
-        assert_eq!(first, second, "memoised charge must equal the walked one");
-        // Any mutation invalidates the memo; the re-walk still agrees.
+        assert_eq!(a, b, "repeated search must return the same node");
+        assert_eq!(first, second, "computed charge must be stable");
+        assert_eq!(first, 2, "newest 48-byte node sits one past the head");
+        // A fresh exact insert becomes the new first hit, one step away.
         idx.insert(Span::new(4096, 48), bref(4096), &mut s);
         let mut third = 0u64;
         let c = idx.find(FitAlgorithm::ExactFit, 48, &mut third).unwrap();
         assert_eq!(c.span.offset, 4096, "fresh insert is the new first hit");
         assert_eq!(third, 1, "new head is one step away");
+    }
+
+    /// Grow past the activation threshold so the rank replica builds, then
+    /// churn it hard enough to force stamp-space renumbering. Every find in
+    /// a debug build cross-checks answer AND charge against the faithful
+    /// walk, so this drives the full indexed lifecycle through the oracle:
+    /// activation restamp, per-op maintenance, renumber, and the replica
+    /// structural check.
+    #[test]
+    fn rank_replica_lifecycle_tracks_the_walk() {
+        let mut dll = DllIndex::new();
+        let mut sll = SllIndex::new();
+        let mut s = 0u64;
+        let size = |i: usize| 16 + (i % 7) * 16;
+        let mut tokens = Vec::new();
+        for i in 0..100 {
+            let span = Span::new(i * 256, size(i));
+            tokens.push((dll.insert(span, bref(i * 256), &mut s), span));
+            sll.insert(span, bref(i * 256), &mut s);
+        }
+        assert!(dll.slab.indexed, "100 nodes must activate the replica");
+        for fit in [
+            FitAlgorithm::FirstFit,
+            FitAlgorithm::NextFit,
+            FitAlgorithm::BestFit,
+            FitAlgorithm::WorstFit,
+            FitAlgorithm::ExactFit,
+        ] {
+            for want in [16, 48, 112, 200] {
+                dll.find(fit, want, &mut s);
+                sll.find(fit, want, &mut s);
+            }
+        }
+        // Unlink every other node (SLL removes charge their position by
+        // rank — position_of debug-asserts against the walk distance).
+        for (t, span) in tokens.iter().step_by(2) {
+            assert!(dll.remove(*t, *span, &mut s).is_some());
+            let mut walk = 0u64;
+            if let Some(f) = sll.find(FitAlgorithm::ExactFit, span.len, &mut walk) {
+                sll.remove(f.token, f.span, &mut s);
+            }
+        }
+        // Churn until the stamp space fills at a mostly-dead leaf range,
+        // forcing at least one renumber (activation capacity is 256 leaves
+        // for ~200 stamps; each push-and-remove pair burns a fresh stamp).
+        for i in 0..2000 {
+            let span = Span::new(1 << 20 | (i * 256), size(i));
+            let t = dll.insert(span, bref(1 << 20 | (i * 256)), &mut s);
+            let f = dll.find(FitAlgorithm::ExactFit, span.len, &mut s).unwrap();
+            assert_eq!(f.token, t, "fresh exact push is the newest of its size");
+            dll.remove(t, span, &mut s).unwrap();
+        }
+        dll.check_oracle().expect("replica survives churn");
+        sll.check_oracle().expect("sll replica survives removals");
     }
 }

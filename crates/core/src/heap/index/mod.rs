@@ -7,7 +7,7 @@
 //! consequences of the A1 decision are measurable as well as the footprint
 //! ones.
 //!
-//! # Handles, tokens and memoised walks
+//! # Handles, tokens and rank-computed walks
 //!
 //! Since the boundary-tag refactor the indexes speak the handle language
 //! of the [`Tiling`](crate::heap::tiling::Tiling): every entry records the
@@ -18,16 +18,18 @@
 //! any index.
 //!
 //! The simulated cost model is unchanged and bit-identical to the faithful
-//! node-by-node walks: where an index can *compute* what a walk would have
-//! charged — an exact-fit miss is always a full-list scan, best/worst fit
-//! without an exact hit always visit every node — it charges that step
-//! count in one add and resolves the result from per-list length counters
-//! and size-keyed position memos instead of iterating. Walks whose charge
-//! depends on a node's position in link order (a first-fit hit, a
-//! singly-linked unlink) still walk, because that *is* the modelled cost.
+//! node-by-node walks, but since the order-statistic layer ([`rank`]) *no
+//! charge is walked at all*: each index mirrors its walk order into a
+//! rank/select tree, so hit distances, early-stop miss charges, and
+//! singly-linked unlink positions are each one O(log) rank query. The
+//! faithful walks stay compiled in as debug shadow oracles — every find
+//! asserts the computed answer and charge against them in debug builds,
+//! and [`FreeIndex::check_oracle`] revalidates the replicas structurally
+//! per replay event.
 
 mod linked;
 mod ordered;
+pub mod rank;
 
 pub use linked::{DllIndex, SllIndex};
 pub use ordered::{AddrIndex, SizeTreeIndex};
@@ -81,6 +83,14 @@ pub trait FreeIndex: std::fmt::Debug {
 
     /// Static control-structure bytes this index costs on the target.
     fn control_overhead_bytes(&self) -> usize;
+
+    /// Validate any rank/select replica against the walked structure it
+    /// mirrors (debug replays call this per event). Indexes whose charges
+    /// are computed directly from their primary structure have nothing to
+    /// cross-check and keep the default.
+    fn check_oracle(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Instantiate the index matching an A1 leaf.
@@ -90,6 +100,88 @@ pub fn new_index(structure: BlockStructure) -> Box<dyn FreeIndex + Send> {
         BlockStructure::DoublyLinkedList => Box::new(DllIndex::new()),
         BlockStructure::AddressOrderedList => Box::new(AddrIndex::new()),
         BlockStructure::SizeOrderedTree => Box::new(SizeTreeIndex::new()),
+    }
+}
+
+/// A pool's free index with the A1 leaf resolved by enum, not vtable.
+///
+/// The pool set holds these instead of `Box<dyn FreeIndex>`: a replay
+/// drives a handful of index calls per event through the pool layer, and a
+/// predictable four-way match the optimiser can inline through is
+/// measurably cheaper than virtual dispatch on that path. The trait object
+/// form ([`new_index`]) remains for callers that want open-ended
+/// composition.
+#[derive(Debug)]
+pub enum PoolIndex {
+    /// A1: singly linked list.
+    Sll(SllIndex),
+    /// A1: doubly linked list.
+    Dll(DllIndex),
+    /// A1: address-ordered list.
+    Addr(AddrIndex),
+    /// A1: size-ordered tree.
+    SizeTree(SizeTreeIndex),
+}
+
+impl PoolIndex {
+    /// Instantiate the variant matching an A1 leaf.
+    pub fn new(structure: BlockStructure) -> Self {
+        match structure {
+            BlockStructure::SinglyLinkedList => PoolIndex::Sll(SllIndex::new()),
+            BlockStructure::DoublyLinkedList => PoolIndex::Dll(DllIndex::new()),
+            BlockStructure::AddressOrderedList => PoolIndex::Addr(AddrIndex::new()),
+            BlockStructure::SizeOrderedTree => PoolIndex::SizeTree(SizeTreeIndex::new()),
+        }
+    }
+}
+
+/// Forward every [`FreeIndex`] method through one four-way match.
+macro_rules! pool_index_dispatch {
+    ($self:expr, $idx:ident => $body:expr) => {
+        match $self {
+            PoolIndex::Sll($idx) => $body,
+            PoolIndex::Dll($idx) => $body,
+            PoolIndex::Addr($idx) => $body,
+            PoolIndex::SizeTree($idx) => $body,
+        }
+    };
+}
+
+impl FreeIndex for PoolIndex {
+    #[inline]
+    fn insert(&mut self, span: Span, block: BlockRef, steps: &mut u64) -> usize {
+        pool_index_dispatch!(self, idx => idx.insert(span, block, steps))
+    }
+
+    #[inline]
+    fn remove(&mut self, token: usize, span: Span, steps: &mut u64) -> Option<BlockRef> {
+        pool_index_dispatch!(self, idx => idx.remove(token, span, steps))
+    }
+
+    #[inline]
+    fn find(&mut self, fit: FitAlgorithm, len: usize, steps: &mut u64) -> Option<Found> {
+        pool_index_dispatch!(self, idx => idx.find(fit, len, steps))
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        pool_index_dispatch!(self, idx => idx.len())
+    }
+
+    fn spans(&self) -> Vec<Span> {
+        pool_index_dispatch!(self, idx => idx.spans())
+    }
+
+    fn clear(&mut self) {
+        pool_index_dispatch!(self, idx => idx.clear())
+    }
+
+    fn control_overhead_bytes(&self) -> usize {
+        pool_index_dispatch!(self, idx => idx.control_overhead_bytes())
+    }
+
+    fn check_oracle(&self) -> Result<(), String> {
+        pool_index_dispatch!(self, idx => idx.check_oracle())
     }
 }
 

@@ -1,0 +1,924 @@
+//! Order-statistic rank/select support for the free indexes.
+//!
+//! [`PosTree`] is a weight-augmented balanced tree over `(key, weight)`
+//! pairs that answers, in O(log n), the questions the faithful free-list
+//! walks answer in O(n):
+//!
+//! - [`PosTree::rank`] — the 1-based position of a key in key order, which
+//!   *is* the walk distance when keys are chosen so that key order equals
+//!   walk order (link order for the linked slab, address order for the
+//!   address-ordered index);
+//! - [`PosTree::count_below`] — how many keys precede a bound (the charge
+//!   of a walk that terminates early at that bound);
+//! - [`PosTree::first_at_least`] / [`PosTree::first_at_least_from`] /
+//!   [`PosTree::first_at_least_below`] — the first position in (a range
+//!   of) key order whose weight satisfies a fit, i.e. the node a
+//!   first/next-fit walk would stop at.
+//!
+//! # Invariants
+//!
+//! The tree is a *replica* of its owner's walk order, never the owner
+//! itself: every key is inserted exactly when its node becomes reachable
+//! by the faithful walk and removed exactly when it stops being reachable,
+//! with `weight` equal to the walked node's span length. Under that
+//! discipline every rank/select answer is bit-identical to the faithful
+//! walk's charge — the owners assert exactly that, per query, in debug
+//! builds (see the shadow-oracle notes in `linked.rs` and `ordered.rs`),
+//! and [`FreeIndex::check_oracle`](crate::heap::index::FreeIndex::check_oracle)
+//! re-validates the whole replica per replay event in debug builds.
+//!
+//! Balance comes from treap priorities derived deterministically from the
+//! key (a splitmix64 hash), so a replay's structure — and therefore its
+//! wall-clock — is reproducible run to run. Like the memo tables of the
+//! previous revision, the tree is simulator-side acceleration: it is *not*
+//! part of the modelled manager, so it contributes nothing to
+//! `control_overhead_bytes`.
+
+const NIL: u32 = u32::MAX;
+
+/// Deterministic treap priority: splitmix64 of the key.
+fn prio_of(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RankNode {
+    key: u64,
+    /// Caller payload resolved on selects (the linked slab stores its slot
+    /// here; the address index has no use for it and stores 0).
+    payload: u32,
+    weight: usize,
+    max_weight: usize,
+    count: u32,
+    prio: u64,
+    left: u32,
+    right: u32,
+}
+
+/// An order-statistic tree over `(key, weight)` pairs (see module docs).
+#[derive(Debug, Clone)]
+pub struct PosTree {
+    nodes: Vec<RankNode>,
+    free: Vec<u32>,
+    root: u32,
+}
+
+impl Default for PosTree {
+    fn default() -> Self {
+        PosTree::new()
+    }
+}
+
+impl PosTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        PosTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    /// Number of keys in the tree.
+    pub fn len(&self) -> usize {
+        self.count(self.root) as usize
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    /// Remove every key, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+    }
+
+    fn count(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].count
+        }
+    }
+
+    fn max_weight(&self, t: u32) -> usize {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].max_weight
+        }
+    }
+
+    fn pull(&mut self, t: u32) {
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        let count = 1 + self.count(l) + self.count(r);
+        let max_weight = self.nodes[t as usize]
+            .weight
+            .max(self.max_weight(l))
+            .max(self.max_weight(r));
+        let n = &mut self.nodes[t as usize];
+        n.count = count;
+        n.max_weight = max_weight;
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let r = self.nodes[a as usize].right;
+            let r = self.merge(r, b);
+            self.nodes[a as usize].right = r;
+            self.pull(a);
+            a
+        } else {
+            let l = self.nodes[b as usize].left;
+            let l = self.merge(a, l);
+            self.nodes[b as usize].left = l;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Split into (keys `< key`, keys `>= key`).
+    fn split(&mut self, t: u32, key: u64) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key < key {
+            let r = self.nodes[t as usize].right;
+            let (l, r) = self.split(r, key);
+            self.nodes[t as usize].right = l;
+            self.pull(t);
+            (t, r)
+        } else {
+            let l = self.nodes[t as usize].left;
+            let (l, r) = self.split(l, key);
+            self.nodes[t as usize].left = r;
+            self.pull(t);
+            (l, t)
+        }
+    }
+
+    /// Insert a key that must not already be present.
+    pub fn insert(&mut self, key: u64, weight: usize, payload: u32) {
+        debug_assert!(!self.contains(key), "duplicate rank key {key}");
+        let node = RankNode {
+            key,
+            payload,
+            weight,
+            max_weight: weight,
+            count: 1,
+            prio: prio_of(key),
+            left: NIL,
+            right: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s as usize] = node;
+                s
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        let (l, r) = self.split(self.root, key);
+        let l = self.merge(l, slot);
+        self.root = self.merge(l, r);
+    }
+
+    /// Remove a key; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let (l, rest) = self.split(self.root, key);
+        let (mid, r) = if key == u64::MAX {
+            (rest, NIL)
+        } else {
+            self.split(rest, key + 1)
+        };
+        debug_assert!(self.count(mid) <= 1, "keys must be unique");
+        let found = mid != NIL;
+        if found {
+            self.free.push(mid);
+        }
+        self.root = self.merge(l, r);
+        found
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let mut t = self.root;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            t = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Greater => n.right,
+            };
+        }
+        false
+    }
+
+    /// 1-based position of a *present* key in ascending key order — the
+    /// faithful walk's distance to that node.
+    pub fn rank(&self, key: u64) -> u64 {
+        let mut t = self.root;
+        let mut before = 0u64;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => t = n.left,
+                std::cmp::Ordering::Equal => return before + self.count(n.left) as u64 + 1,
+                std::cmp::Ordering::Greater => {
+                    before += self.count(n.left) as u64 + 1;
+                    t = n.right;
+                }
+            }
+        }
+        debug_assert!(false, "rank of absent key {key}");
+        before + 1
+    }
+
+    /// Number of keys strictly below `key` (which need not be present) —
+    /// the charge of a walk that stops just before that bound.
+    pub fn count_below(&self, key: u64) -> u64 {
+        let mut t = self.root;
+        let mut below = 0u64;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            if n.key < key {
+                below += self.count(n.left) as u64 + 1;
+                t = n.right;
+            } else {
+                t = n.left;
+            }
+        }
+        below
+    }
+
+    /// First key (ascending) whose weight is `>= min_weight`, with its
+    /// payload — the node a first-fit walk stops at.
+    pub fn first_at_least(&self, min_weight: usize) -> Option<(u64, u32)> {
+        self.select_in(self.root, min_weight)
+    }
+
+    fn select_in(&self, t: u32, min_weight: usize) -> Option<(u64, u32)> {
+        let mut t = t;
+        if t == NIL || self.max_weight(t) < min_weight {
+            return None;
+        }
+        loop {
+            let n = &self.nodes[t as usize];
+            if self.max_weight(n.left) >= min_weight {
+                t = n.left;
+                continue;
+            }
+            if n.weight >= min_weight {
+                return Some((n.key, n.payload));
+            }
+            debug_assert_ne!(n.right, NIL, "max_weight promised a fit");
+            t = n.right;
+        }
+    }
+
+    /// First key `>= lo` whose weight is `>= min_weight` — where a roving
+    /// walk starting at `lo`'s position stops before wrapping.
+    pub fn first_at_least_from(&self, lo: u64, min_weight: usize) -> Option<(u64, u32)> {
+        let mut t = self.root;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            if self.max_weight(t) < min_weight {
+                return None;
+            }
+            if n.key < lo {
+                t = n.right;
+                continue;
+            }
+            // Everything in the left subtree is ≥ lo only partially — it
+            // may still contain keys below the bound, so recurse with the
+            // bound; the node and right subtree are entirely ≥ lo.
+            if let Some(hit) = self.first_from_bounded(n.left, lo, min_weight) {
+                return Some(hit);
+            }
+            if n.weight >= min_weight {
+                return Some((n.key, n.payload));
+            }
+            return self.select_in(n.right, min_weight);
+        }
+        None
+    }
+
+    fn first_from_bounded(&self, t: u32, lo: u64, min_weight: usize) -> Option<(u64, u32)> {
+        if t == NIL || self.max_weight(t) < min_weight {
+            return None;
+        }
+        let n = &self.nodes[t as usize];
+        if n.key < lo {
+            return self.first_from_bounded(n.right, lo, min_weight);
+        }
+        if let Some(hit) = self.first_from_bounded(n.left, lo, min_weight) {
+            return Some(hit);
+        }
+        if n.weight >= min_weight {
+            return Some((n.key, n.payload));
+        }
+        self.select_in(n.right, min_weight)
+    }
+
+    /// First key `< hi` whose weight is `>= min_weight` — where a walk
+    /// confined to the positions before `hi` stops.
+    pub fn first_at_least_below(&self, hi: u64, min_weight: usize) -> Option<(u64, u32)> {
+        self.first_below_bounded(self.root, hi, min_weight)
+    }
+
+    fn first_below_bounded(&self, t: u32, hi: u64, min_weight: usize) -> Option<(u64, u32)> {
+        if t == NIL || self.max_weight(t) < min_weight {
+            return None;
+        }
+        let n = &self.nodes[t as usize];
+        if n.key >= hi {
+            return self.first_below_bounded(n.left, hi, min_weight);
+        }
+        // The left subtree is entirely < hi: unbounded select there first.
+        if let Some(hit) = self.select_in(n.left, min_weight) {
+            return Some(hit);
+        }
+        if n.weight >= min_weight {
+            return Some((n.key, n.payload));
+        }
+        self.first_below_bounded(n.right, hi, min_weight)
+    }
+
+    /// Visit every `(key, weight, payload)` in ascending key order — the
+    /// per-event oracle check compares this against the owner's walk.
+    pub fn for_each_in_order(&self, mut f: impl FnMut(u64, usize, u32)) {
+        self.in_order(self.root, &mut f);
+    }
+
+    fn in_order(&self, t: u32, f: &mut impl FnMut(u64, usize, u32)) {
+        if t == NIL {
+            return;
+        }
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        self.in_order(l, f);
+        {
+            let n = &self.nodes[t as usize];
+            f(n.key, n.weight, n.payload);
+        }
+        self.in_order(r, f);
+    }
+}
+
+/// Packed segment-tree node: live-leaf count in the high 32 bits, maximum
+/// leaf weight in the low 32.
+const COUNT_ONE: u64 = 1 << 32;
+const COUNT_MASK: u64 = !(u32::MAX as u64);
+
+#[inline(always)]
+fn seg_combine(a: u64, b: u64) -> u64 {
+    // Counts can never carry out of the high half (they are bounded by the
+    // leaf count), so the halves add and max independently.
+    ((a & COUNT_MASK) + (b & COUNT_MASK)) | u64::from((a as u32).max(b as u32))
+}
+
+#[inline(always)]
+fn seg_count(v: u64) -> u64 {
+    v >> 32
+}
+
+#[inline(always)]
+fn seg_maxw(v: u64) -> u32 {
+    v as u32
+}
+
+/// A flat order-statistic structure specialised for *monotonically
+/// decreasing* keys — the linked slab's `u64::MAX - seq` push stamps.
+///
+/// Because each inserted key is strictly smaller than every key before it,
+/// the key space maps to a dense, append-only leaf space (`leaf =
+/// u64::MAX - key - 1`, i.e. the zero-based push stamp) and the whole tree
+/// flattens into one contiguous array of packed `(count, max weight)`
+/// nodes: updates walk a root path of adjacent sibling pairs (one cache
+/// line per level) instead of chasing treap pointers, which is what makes
+/// the per-event rank charges cheaper than the walks they replace.
+///
+/// Ascending key order == *descending* leaf order, so "first in link
+/// order" selects are rightmost-leaf descents and rank/count queries are
+/// suffix counts. The public API mirrors [`PosTree`] exactly — same names,
+/// same key-space semantics — so the fit-search decompositions written
+/// against the treap run unchanged against this structure.
+#[derive(Debug, Clone, Default)]
+pub struct SeqTree {
+    /// `2 * cap` packed nodes; node `i`'s children are `2i` and `2i + 1`,
+    /// leaf `l` lives at `cap + l`. Empty until the first insert.
+    tree: Vec<u64>,
+    /// Caller payload per leaf, append-only (dead leaves keep their stale
+    /// payload; the packed count says whether a leaf is live).
+    payload: Vec<u32>,
+    /// Leaf capacity: a power of two, doubled (with an O(cap) rebuild) when
+    /// the append-only leaf space fills.
+    cap: usize,
+    len: usize,
+}
+
+impl SeqTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        SeqTree::default()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every key, keeping the allocation. The leaf space restarts
+    /// from zero, matching the owner slab's restarted push stamps.
+    pub fn clear(&mut self) {
+        self.tree.fill(0);
+        self.payload.clear();
+        self.len = 0;
+    }
+
+    #[inline(always)]
+    fn leaf_of(key: u64) -> usize {
+        (u64::MAX - key - 1) as usize
+    }
+
+    #[inline(always)]
+    fn key_of(leaf: usize) -> u64 {
+        u64::MAX - leaf as u64 - 1
+    }
+
+    /// Recompute the packed nodes on the path from leaf `l` to the root.
+    #[inline(always)]
+    fn pull_path(&mut self, l: usize) {
+        let mut i = (self.cap + l) >> 1;
+        while i >= 1 {
+            self.tree[i] = seg_combine(self.tree[2 * i], self.tree[2 * i + 1]);
+            i >>= 1;
+        }
+    }
+
+    /// Double the leaf capacity, keeping leaves in place (the space is
+    /// append-only, so existing leaves never move) and rebuilding the
+    /// internal levels. Amortised O(1) per insert.
+    fn grow(&mut self, need: usize) {
+        let old_cap = self.cap;
+        let mut cap = if old_cap == 0 { 64 } else { old_cap };
+        while cap <= need {
+            cap *= 2;
+        }
+        let mut tree = vec![0u64; 2 * cap];
+        tree[cap..cap + old_cap].copy_from_slice(&self.tree[old_cap..2 * old_cap]);
+        for i in (1..cap).rev() {
+            tree[i] = seg_combine(tree[2 * i], tree[2 * i + 1]);
+        }
+        self.tree = tree;
+        self.cap = cap;
+    }
+
+    /// Insert `key` with `weight`. Keys must arrive strictly decreasing —
+    /// the linked slab's push-stamp discipline — so each insert appends the
+    /// next leaf.
+    pub fn insert(&mut self, key: u64, weight: usize, payload: u32) {
+        let leaf = Self::leaf_of(key);
+        debug_assert_eq!(leaf, self.payload.len(), "seq keys must be monotone");
+        debug_assert!(
+            u32::try_from(weight).is_ok(),
+            "span length {weight} exceeds the packed weight range"
+        );
+        if leaf >= self.cap {
+            self.grow(leaf);
+        }
+        self.payload.push(payload);
+        self.tree[self.cap + leaf] = COUNT_ONE | u64::from(weight as u32);
+        self.pull_path(leaf);
+        self.len += 1;
+    }
+
+    /// Remove `key`, returning whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let leaf = Self::leaf_of(key);
+        if leaf >= self.payload.len() || self.tree[self.cap + leaf] == 0 {
+            return false;
+        }
+        self.tree[self.cap + leaf] = 0;
+        self.pull_path(leaf);
+        self.len -= 1;
+        true
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let leaf = Self::leaf_of(key);
+        leaf < self.payload.len() && self.tree[self.cap + leaf] != 0
+    }
+
+    /// Count of live leaves strictly greater than `leaf` — i.e. of keys
+    /// strictly below `key_of(leaf)` (suffix sum along the root path).
+    #[inline(always)]
+    fn count_leaves_above(&self, leaf: usize) -> u64 {
+        let mut i = self.cap + leaf;
+        let mut acc = 0u64;
+        while i > 1 {
+            if i & 1 == 0 {
+                acc += seg_count(self.tree[i + 1]);
+            }
+            i >>= 1;
+        }
+        acc
+    }
+
+    /// 1-based position of a present key in ascending key order.
+    pub fn rank(&self, key: u64) -> u64 {
+        debug_assert!(self.contains(key), "rank of an absent key");
+        self.count_leaves_above(Self::leaf_of(key)) + 1
+    }
+
+    /// Number of keys strictly below `key` (which need not be present).
+    pub fn count_below(&self, key: u64) -> u64 {
+        if self.cap == 0 {
+            return 0;
+        }
+        let leaf = Self::leaf_of(key);
+        if leaf >= self.cap {
+            // `key` is below every possible stamp: nothing precedes it.
+            return 0;
+        }
+        self.count_leaves_above(leaf)
+    }
+
+    /// Descend from internal node `i` to its rightmost leaf of weight
+    /// `>= min_w`. Caller guarantees such a leaf exists under `i`.
+    #[inline(always)]
+    fn descend_rightmost(&self, mut i: usize, min_w: u32) -> (u64, u32) {
+        while i < self.cap {
+            i *= 2;
+            if seg_maxw(self.tree[i + 1]) >= min_w {
+                i += 1;
+            }
+        }
+        let leaf = i - self.cap;
+        (Self::key_of(leaf), self.payload[leaf])
+    }
+
+    /// Rightmost leaf in `[lo, hi)` with weight `>= min_w`, as
+    /// `(key, payload)`. The canonical cover of the range is scanned from
+    /// its right end, so the first satisfying node wins.
+    fn rightmost_fit_in(&self, lo: usize, hi: usize, min_w: u32) -> Option<(u64, u32)> {
+        let mut l = self.cap + lo;
+        let mut r = self.cap + hi;
+        // Canonical cover: `lefts` in left-to-right order, `rights` in
+        // right-to-left order (the scan order we want).
+        let mut lefts = [0usize; 64];
+        let mut nl = 0;
+        let mut rights = [0usize; 64];
+        let mut nr = 0;
+        while l < r {
+            if l & 1 == 1 {
+                lefts[nl] = l;
+                nl += 1;
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                rights[nr] = r;
+                nr += 1;
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        for &i in rights[..nr].iter() {
+            if seg_maxw(self.tree[i]) >= min_w {
+                return Some(self.descend_rightmost(i, min_w));
+            }
+        }
+        for &i in lefts[..nl].iter().rev() {
+            if seg_maxw(self.tree[i]) >= min_w {
+                return Some(self.descend_rightmost(i, min_w));
+            }
+        }
+        None
+    }
+
+    #[inline(always)]
+    fn clamp_w(min_weight: usize) -> u32 {
+        debug_assert!(
+            u32::try_from(min_weight).is_ok(),
+            "fit request {min_weight} exceeds the packed weight range"
+        );
+        min_weight.min(u32::MAX as usize) as u32
+    }
+
+    /// First key in ascending key order with weight `>= min_weight` — the
+    /// rightmost fitting leaf.
+    pub fn first_at_least(&self, min_weight: usize) -> Option<(u64, u32)> {
+        if self.cap == 0 {
+            return None;
+        }
+        self.rightmost_fit_in(0, self.cap, Self::clamp_w(min_weight))
+    }
+
+    /// First key `>= lo` in ascending key order with weight `>= min_weight`
+    /// — the rightmost fitting leaf at or below `lo`'s stamp.
+    pub fn first_at_least_from(&self, lo: u64, min_weight: usize) -> Option<(u64, u32)> {
+        if self.cap == 0 {
+            return None;
+        }
+        let leaf = Self::leaf_of(lo).min(self.cap - 1);
+        self.rightmost_fit_in(0, leaf + 1, Self::clamp_w(min_weight))
+    }
+
+    /// First key strictly below `hi` in ascending key order with weight
+    /// `>= min_weight` — the rightmost fitting leaf above `hi`'s stamp.
+    pub fn first_at_least_below(&self, hi: u64, min_weight: usize) -> Option<(u64, u32)> {
+        if self.cap == 0 {
+            return None;
+        }
+        let leaf = Self::leaf_of(hi);
+        if leaf + 1 >= self.cap {
+            return None;
+        }
+        self.rightmost_fit_in(leaf + 1, self.cap, Self::clamp_w(min_weight))
+    }
+
+    /// Whether the append-only leaf space is full. The owner can either
+    /// let the next insert double it ([`SeqTree::insert`] grows
+    /// automatically) or — when most leaves are dead — restamp its nodes
+    /// and [`SeqTree::reset_with_room_for`] a compact space, which keeps
+    /// the tree depth at `log2(live)`-ish instead of `log2(total inserts)`.
+    pub fn at_capacity(&self) -> bool {
+        self.payload.len() == self.cap
+    }
+
+    /// Current leaf capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Empty the tree and restart the leaf space sized for `n` live keys
+    /// (with slack so the next compaction is at least `n` inserts away).
+    pub fn reset_with_room_for(&mut self, n: usize) {
+        let cap = (2 * n).next_power_of_two().max(64);
+        if self.tree.len() == 2 * cap {
+            self.tree.fill(0);
+        } else {
+            self.tree = vec![0u64; 2 * cap];
+        }
+        self.cap = cap;
+        self.payload.clear();
+        self.len = 0;
+    }
+
+    /// Largest live weight, or 0 when empty.
+    pub fn max_weight(&self) -> usize {
+        if self.cap == 0 {
+            0
+        } else {
+            seg_maxw(self.tree[1]) as usize
+        }
+    }
+
+    /// The packed count at `key`'s leaf — replica validation hook.
+    pub fn leaf_entry(&self, key: u64) -> Option<(usize, u32)> {
+        let leaf = Self::leaf_of(key);
+        if leaf >= self.payload.len() || self.tree[self.cap + leaf] == 0 {
+            return None;
+        }
+        Some((
+            seg_maxw(self.tree[self.cap + leaf]) as usize,
+            self.payload[leaf],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flat reference: sorted (key, weight) pairs.
+    #[derive(Default)]
+    struct RefSet(Vec<(u64, usize)>);
+
+    impl RefSet {
+        fn insert(&mut self, key: u64, w: usize) {
+            let i = self.0.partition_point(|&(k, _)| k < key);
+            self.0.insert(i, (key, w));
+        }
+        fn remove(&mut self, key: u64) -> bool {
+            match self.0.iter().position(|&(k, _)| k == key) {
+                Some(i) => {
+                    self.0.remove(i);
+                    true
+                }
+                None => false,
+            }
+        }
+        fn rank(&self, key: u64) -> u64 {
+            self.0.iter().position(|&(k, _)| k == key).unwrap() as u64 + 1
+        }
+        fn count_below(&self, key: u64) -> u64 {
+            self.0.iter().filter(|&&(k, _)| k < key).count() as u64
+        }
+        fn first_at_least(&self, w: usize) -> Option<u64> {
+            self.0.iter().find(|&&(_, x)| x >= w).map(|&(k, _)| k)
+        }
+        fn first_from(&self, lo: u64, w: usize) -> Option<u64> {
+            self.0
+                .iter()
+                .find(|&&(k, x)| k >= lo && x >= w)
+                .map(|&(k, _)| k)
+        }
+        fn first_below(&self, hi: u64, w: usize) -> Option<u64> {
+            self.0
+                .iter()
+                .find(|&&(k, x)| k < hi && x >= w)
+                .map(|&(k, _)| k)
+        }
+    }
+
+    #[test]
+    fn churned_tree_matches_flat_reference() {
+        let mut tree = PosTree::new();
+        let mut reference = RefSet::default();
+        let mut x: u64 = 0x0123_4567_89AB_CDEF;
+        let mut keys: Vec<u64> = Vec::new();
+        for round in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if keys.len() < 4 || !x.is_multiple_of(3) {
+                let key = x % 1024; // small space forces collisions
+                if !tree.contains(key) {
+                    let w = 16 + (x >> 32) as usize % 96;
+                    tree.insert(key, w, (key % 7) as u32);
+                    reference.insert(key, w);
+                    keys.push(key);
+                }
+            } else {
+                let i = (x as usize / 5) % keys.len();
+                let key = keys.swap_remove(i);
+                assert!(tree.remove(key));
+                assert!(reference.remove(key));
+            }
+            assert_eq!(tree.len(), reference.0.len());
+            if round % 7 == 0 {
+                for probe in [0u64, 13, 512, 1023, x % 1100] {
+                    assert_eq!(tree.count_below(probe), reference.count_below(probe));
+                    for w in [1usize, 40, 80, 200] {
+                        assert_eq!(
+                            tree.first_at_least(w).map(|(k, _)| k),
+                            reference.first_at_least(w),
+                            "first_at_least({w})"
+                        );
+                        assert_eq!(
+                            tree.first_at_least_from(probe, w).map(|(k, _)| k),
+                            reference.first_from(probe, w),
+                            "first_from({probe},{w})"
+                        );
+                        assert_eq!(
+                            tree.first_at_least_below(probe, w).map(|(k, _)| k),
+                            reference.first_below(probe, w),
+                            "first_below({probe},{w})"
+                        );
+                    }
+                }
+                if let Some(&key) = keys.first() {
+                    assert_eq!(tree.rank(key), reference.rank(key));
+                }
+            }
+        }
+        // In-order traversal reproduces the reference exactly.
+        let mut seen = Vec::new();
+        tree.for_each_in_order(|k, w, _| seen.push((k, w)));
+        assert_eq!(seen, reference.0);
+    }
+
+    #[test]
+    fn payload_rides_along() {
+        let mut tree = PosTree::new();
+        tree.insert(10, 100, 7);
+        tree.insert(5, 50, 3);
+        assert_eq!(tree.first_at_least(60), Some((10, 7)));
+        assert_eq!(tree.first_at_least(1), Some((5, 3)));
+        assert_eq!(tree.rank(10), 2);
+        assert!(tree.remove(5));
+        assert!(!tree.remove(5));
+        assert_eq!(tree.rank(10), 1);
+    }
+
+    /// SeqTree under the owner slab's discipline (strictly decreasing
+    /// keys), cross-checked per op against both the flat reference and the
+    /// general-purpose treap.
+    #[test]
+    fn seq_tree_matches_reference_under_monotone_churn() {
+        let mut seq_tree = SeqTree::new();
+        let mut treap = PosTree::new();
+        let mut reference = RefSet::default();
+        let mut live: Vec<u64> = Vec::new();
+        let mut seq = 0u64;
+        let mut x: u64 = 0xDEAD_BEEF_1234_5678;
+        for round in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if live.len() < 4 || !x.is_multiple_of(3) {
+                seq += 1;
+                let key = u64::MAX - seq;
+                let w = 16 + (x >> 32) as usize % 96;
+                let p = (seq % 11) as u32;
+                seq_tree.insert(key, w, p);
+                treap.insert(key, w, p);
+                reference.insert(key, w);
+                live.push(key);
+            } else {
+                let i = (x as usize / 5) % live.len();
+                let key = live.swap_remove(i);
+                assert!(seq_tree.remove(key));
+                assert!(!seq_tree.remove(key), "double remove must miss");
+                assert!(treap.remove(key));
+                assert!(reference.remove(key));
+            }
+            assert_eq!(seq_tree.len(), reference.0.len());
+            assert_eq!(
+                seq_tree.max_weight(),
+                reference.0.iter().map(|&(_, w)| w).max().unwrap_or(0)
+            );
+            if round % 5 == 0 {
+                let probes = [
+                    u64::MAX - 1,
+                    u64::MAX - seq.max(1),
+                    u64::MAX - seq / 2 - 1,
+                    u64::MAX - seq - 40, // below every stamp issued so far
+                ];
+                for probe in probes {
+                    assert_eq!(
+                        seq_tree.count_below(probe),
+                        reference.count_below(probe),
+                        "count_below({probe:#x})"
+                    );
+                    for w in [1usize, 40, 80, 200] {
+                        assert_eq!(
+                            seq_tree.first_at_least(w).map(|(k, _)| k),
+                            reference.first_at_least(w),
+                            "first_at_least({w})"
+                        );
+                        assert_eq!(
+                            seq_tree.first_at_least_from(probe, w),
+                            treap.first_at_least_from(probe, w),
+                            "first_from({probe:#x},{w})"
+                        );
+                        assert_eq!(
+                            seq_tree.first_at_least_below(probe, w),
+                            treap.first_at_least_below(probe, w),
+                            "first_below({probe:#x},{w})"
+                        );
+                    }
+                }
+                for &key in live.iter().take(8) {
+                    assert_eq!(seq_tree.rank(key), reference.rank(key), "rank");
+                    assert!(seq_tree.contains(key));
+                }
+            }
+        }
+        // Clear restarts the stamp space from zero.
+        seq_tree.clear();
+        assert!(seq_tree.is_empty());
+        seq_tree.insert(u64::MAX - 1, 32, 9);
+        assert_eq!(seq_tree.first_at_least(1), Some((u64::MAX - 1, 9)));
+        assert_eq!(seq_tree.leaf_entry(u64::MAX - 1), Some((32, 9)));
+    }
+
+    #[test]
+    fn extreme_keys_are_handled() {
+        let mut tree = PosTree::new();
+        tree.insert(u64::MAX, 8, 0);
+        tree.insert(0, 16, 1);
+        assert_eq!(tree.rank(u64::MAX), 2);
+        assert_eq!(tree.count_below(u64::MAX), 1);
+        assert_eq!(tree.first_at_least_from(u64::MAX, 1), Some((u64::MAX, 0)));
+        assert!(tree.remove(u64::MAX));
+        assert_eq!(tree.len(), 1);
+    }
+}

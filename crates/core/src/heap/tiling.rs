@@ -387,9 +387,21 @@ impl Tiling {
     /// Linear fallback lookup by offset (stale or externally-minted
     /// handles only — every hot path resolves blocks through [`BlockRef`]).
     pub fn find_by_offset(&self, offset: usize) -> Option<BlockRef> {
-        self.iter()
-            .find(|(_, b)| b.span.offset == offset)
-            .map(|(r, _)| r)
+        let mut steps = 0u64;
+        self.find_by_offset_charged(offset, &mut steps)
+    }
+
+    /// [`Tiling::find_by_offset`], charging one step per block visited —
+    /// the modelled cost of the linear scan a manager performs to resolve
+    /// a handle that carries no slot.
+    pub fn find_by_offset_charged(&self, offset: usize, steps: &mut u64) -> Option<BlockRef> {
+        for (r, b) in self.iter() {
+            *steps += 1;
+            if b.span.offset == offset {
+                return Some(r);
+            }
+        }
+        None
     }
 
     /// Drop everything.

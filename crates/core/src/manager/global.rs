@@ -281,6 +281,32 @@ mod tests {
     }
 
     #[test]
+    fn slotless_free_after_region_wrapping_resolves_and_charges() {
+        // A legacy slotless handle survives the `in_region(0)` re-wrap on
+        // the free path: the atomic manager's offset fallback must both
+        // resolve the block and charge the linear walk it performs.
+        let mut g = two_phase();
+        g.set_phase(1);
+        for _ in 0..8 {
+            let _ = g.alloc(64).unwrap();
+        }
+        let h = g.alloc(64).unwrap();
+        assert!(h.slot().is_some());
+        let before = g.atomic(1).stats().search_steps;
+        let legacy = BlockHandle::new(h.offset(), h.region());
+        assert!(legacy.slot().is_none());
+        g.free(legacy).unwrap();
+        assert_eq!(g.atomic(1).stats().frees, 1);
+        assert_eq!(g.atomic(0).stats().frees, 0);
+        let charged = g.atomic(1).stats().search_steps - before;
+        assert!(
+            charged > 1,
+            "slotless resolve after region wrapping charged only the tag read ({charged})"
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
     fn merged_stats_sum_atomics() {
         let mut g = two_phase();
         g.set_phase(0);

@@ -9,7 +9,7 @@
 //! descriptor overhead bytes.
 
 use crate::heap::block::Span;
-use crate::heap::index::{new_index, Found, FreeIndex};
+use crate::heap::index::{Found, FreeIndex, PoolIndex};
 use crate::space::config::DmConfig;
 use crate::space::trees::{BlockSizes, BlockStructure, FitAlgorithm, PoolDivision, PoolStructure};
 use crate::units::{align_up, pow2_class, MIN_ALIGN, MIN_BLOCK, POINTER_BYTES, SIZE_FIELD_BYTES};
@@ -38,7 +38,7 @@ pub struct Pools {
     block_structure: BlockStructure,
     /// Ascending class ceilings for `ProfiledClasses` routing.
     profiled: Vec<usize>,
-    indexes: Vec<Box<dyn FreeIndex + Send>>,
+    indexes: Vec<PoolIndex>,
     /// Cached [`Pools::static_overhead`]. Every index's
     /// `control_overhead_bytes` is a constant of its structure, so the sum
     /// only moves when [`Pools::ensure`] materialises a pool — recomputing
@@ -86,7 +86,7 @@ impl Pools {
 
     fn ensure(&mut self, pool: usize) {
         while self.indexes.len() <= pool {
-            let index = new_index(self.block_structure);
+            let index = PoolIndex::new(self.block_structure);
             self.overhead += descriptor_bytes(self.structure) + index.control_overhead_bytes();
             self.indexes.push(index);
         }
@@ -141,12 +141,12 @@ impl Pools {
     /// # Panics
     ///
     /// Panics if `pool` does not exist (route first) or is [`UNINDEXED`].
-    // Not `std::ops::IndexMut`: that trait cannot return a trait object and
-    // must be paired with `Index`, which has no use here.
+    // Not `std::ops::IndexMut`: that trait must be paired with `Index`,
+    // which has no use here.
     #[allow(clippy::should_implement_trait)]
-    pub fn index_mut(&mut self, pool: usize) -> &mut (dyn FreeIndex + Send) {
+    pub fn index_mut(&mut self, pool: usize) -> &mut PoolIndex {
         assert_ne!(pool, UNINDEXED, "unindexed pseudo-pool has no index");
-        self.indexes[pool].as_mut()
+        &mut self.indexes[pool]
     }
 
     /// Number of materialised pools.
@@ -199,6 +199,17 @@ impl Pools {
             "cached static overhead drifted from the recomputed sum"
         );
         self.overhead
+    }
+
+    /// Validate every index's rank/select replica against the walked
+    /// structure it mirrors (see [`FreeIndex::check_oracle`]). Debug
+    /// replays run this per event through the manager's invariant check.
+    pub fn check_indexes(&self) -> Result<(), String> {
+        for (pool, idx) in self.indexes.iter().enumerate() {
+            idx.check_oracle()
+                .map_err(|e| format!("pool {pool}: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Drop every indexed span (blocks themselves live in the block map).

@@ -98,10 +98,39 @@ impl AllocStats {
         self.live_block = self.live_block.saturating_sub(block_len);
     }
 
-    /// Update the system-reserved byte count and its peak.
+    /// Update the system-reserved byte count and its peak (full rebase —
+    /// construction and reset; steady-state events push deltas instead).
     pub fn set_system(&mut self, arena_bytes: usize, static_overhead: usize) {
         self.static_overhead = static_overhead;
         self.system = arena_bytes + static_overhead;
+        self.peak_footprint = self.peak_footprint.max(self.system);
+    }
+
+    /// Push freshly reserved arena bytes into the system counter. The
+    /// footprint peak is *not* observed here: peaks are sampled only at
+    /// event boundaries ([`AllocStats::observe_peak`]), which keeps peak
+    /// semantics identical to the former recompute-per-event sync.
+    pub fn on_system_grow(&mut self, bytes: usize) {
+        self.system += bytes;
+    }
+
+    /// Remove arena bytes returned to the system (a trim) from the counter.
+    pub fn on_system_shrink(&mut self, bytes: usize) {
+        debug_assert!(bytes <= self.system, "trimmed more than was reserved");
+        self.system = self.system.saturating_sub(bytes);
+    }
+
+    /// Push freshly materialised control-structure bytes (a new pool's
+    /// descriptor and index anchors) into the overhead and system counters.
+    pub fn on_static_grow(&mut self, bytes: usize) {
+        self.static_overhead += bytes;
+        self.system += bytes;
+    }
+
+    /// Sample the footprint peak — called at the same event boundaries
+    /// where the former implementation recomputed `system`, so recorded
+    /// peaks are bit-identical to it.
+    pub fn observe_peak(&mut self) {
         self.peak_footprint = self.peak_footprint.max(self.system);
     }
 

@@ -542,6 +542,89 @@ proptest! {
         }
     }
 
+    /// Differential check for the rank/order-statistic layer over the
+    /// free-list indexes: managers spanning every A1 block structure
+    /// (singly/doubly linked list, address-ordered list, size-ordered
+    /// tree) crossed with every fit algorithm replay flat **and** phased
+    /// traces through both kernels. Every find charge — first/next-fit
+    /// hit distances, SLL unlink positions, `AddrIndex` miss charges —
+    /// is computed from subtree counts, and because this suite runs in
+    /// debug builds each one is recomputed by the faithful walk compiled
+    /// in next to the rank query (`linked::walk_search`,
+    /// `ordered::walk_find`), panicking at the first divergence in
+    /// answer OR charge; the per-event invariant hook re-validates the
+    /// position-tree and size-map replicas against the lists they answer
+    /// for. Both kernels must agree bit for bit, charges included.
+    #[test]
+    fn rank_computed_charges_match_faithful_walks(
+        flat in trace_strategy(80, 2048),
+        phased in phased_trace_strategy(20, 1024),
+    ) {
+        use dmm::core::space::trees::{BlockStructure, FitAlgorithm};
+
+        let structures = [
+            BlockStructure::SinglyLinkedList,
+            BlockStructure::DoublyLinkedList,
+            BlockStructure::AddressOrderedList,
+            BlockStructure::SizeOrderedTree,
+        ];
+        let fits = [
+            FitAlgorithm::FirstFit,
+            FitAlgorithm::NextFit,
+            FitAlgorithm::BestFit,
+            FitAlgorithm::WorstFit,
+            FitAlgorithm::ExactFit,
+        ];
+        let mut scratch = ReplayScratch::new();
+        for trace in [&flat, &phased] {
+            let compiled = CompiledTrace::compile(trace);
+            for s in structures {
+                for f in fits {
+                    let mut cfg = presets::drr_paper();
+                    cfg.name = format!("{s}/{f}");
+                    cfg.block_structure = s;
+                    cfg.fit = f;
+                    if cfg.validate().is_err() {
+                        continue; // interdependency-pruned point
+                    }
+                    let classic =
+                        replay(trace, &mut PolicyAllocator::new(cfg.clone()).expect("valid"))
+                            .expect("classic replay");
+                    let fast = replay_compiled_with(
+                        &compiled,
+                        &mut PolicyAllocator::new(cfg.clone()).expect("valid"),
+                        &mut scratch,
+                    ).expect("compiled replay");
+                    prop_assert_eq!(&classic, &fast, "{}", cfg.name);
+                    prop_assert!(classic.stats.search_steps > 0, "{} charged nothing", cfg.name);
+                }
+            }
+        }
+        // Sharded replay runs the same in-find walk oracles shard by
+        // shard; exercise the structure presets::all() never covers.
+        for s in [BlockStructure::AddressOrderedList, BlockStructure::SinglyLinkedList] {
+            let mut cfg = presets::drr_paper();
+            cfg.name = format!("sharded {s}");
+            cfg.block_structure = s;
+            cfg.fit = FitAlgorithm::NextFit;
+            if cfg.validate().is_err() {
+                continue;
+            }
+            let shards = shard_trace(&flat, 3);
+            let mut manual: Option<dmm::core::metrics::FootprintStats> = None;
+            for sh in &shards {
+                let fs = replay(&sh.trace, &mut PolicyAllocator::new(cfg.clone()).expect("valid"))
+                    .expect("classic replay");
+                match manual.as_mut() {
+                    None => manual = Some(fs),
+                    Some(acc) => acc.absorb_shard(&fs),
+                }
+            }
+            let composed = replay_shards_config(shards, &cfg).expect("sharded replay");
+            prop_assert_eq!(Some(composed.stats), manual, "{}", cfg.name);
+        }
+    }
+
     /// Sharded composition through the compiled path (what
     /// `replay_shards` runs, sharing one slot table across shards) equals
     /// the manual classic composition of the same shards.
