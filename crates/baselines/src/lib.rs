@@ -24,6 +24,7 @@
 //! as points of the search space; integration tests cross-check the
 //! hand-rolled and preset variants against each other.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -11,26 +11,34 @@
 //! - `profile <workload>` — profile a case study's DM behaviour;
 //! - `explore <workload>` — run the methodology and show the decision log;
 //! - `compare <workload>` — footprint table of every manager;
+//! - `lint <target>` — static diagnostics over a preset configuration or
+//!   a workload trace (`--json` for machines, `--explain CODE` for the
+//!   catalogue entry);
 //! - `help` — usage.
 //!
 //! Workloads: `drr`, `recon`, `render` (add `--full` for paper scale,
 //! `--seed=N` to change the input).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::fmt::Write as _;
 
 use dmm_baselines::{KingsleyAllocator, LeaAllocator, ObstackAllocator, RegionAllocator};
+use dmm_core::analyze::{self, Diagnostic, Severity};
 use dmm_core::error::{Error, Result};
 use dmm_core::manager::{Allocator, PolicyAllocator};
 use dmm_core::methodology::Methodology;
 use dmm_core::profile::Profile;
+use dmm_core::space::config::DmConfig;
 use dmm_core::space::interdep;
+use dmm_core::space::presets;
 use dmm_core::space::trees::{Category, TreeId};
 use dmm_core::trace::{replay_compiled, CompiledTrace};
 use dmm_report::{Cell, Table};
 use dmm_workloads::{DrrWorkload, ReconWorkload, RenderWorkload, Workload};
+use serde::{Deserialize, Serialize};
 
 /// Parsed command-line invocation.
 #[derive(Debug, Clone)]
@@ -48,6 +56,12 @@ pub struct Invocation {
     /// `--shards=N` option: split the trace into N shards and explore
     /// per shard, merging the designs (1 = whole-trace exploration).
     pub shards: usize,
+    /// `--json` flag: machine-readable output (lint).
+    pub json: bool,
+    /// `--all-presets` flag: lint every shipped preset.
+    pub all_presets: bool,
+    /// `--explain CODE` / `--explain=CODE`: print one catalogue entry.
+    pub explain: Option<String>,
 }
 
 impl Invocation {
@@ -59,9 +73,25 @@ impl Invocation {
         let mut seed = 0u64;
         let mut jobs = 0usize;
         let mut shards = 1usize;
+        let mut json = false;
+        let mut all_presets = false;
+        let mut explain = None;
+        let mut expect_explain = false;
         let mut seen_command = false;
         for a in args {
-            if a == "--full" {
+            if expect_explain {
+                explain = Some(a.clone());
+                expect_explain = false;
+            } else if a == "--json" {
+                json = true;
+            } else if a == "--all-presets" {
+                all_presets = true;
+            } else if a == "--explain" {
+                // The code follows as the next argument.
+                expect_explain = true;
+            } else if let Some(s) = a.strip_prefix("--explain=") {
+                explain = Some(s.to_string());
+            } else if a == "--full" {
                 full = true;
             } else if let Some(s) = a.strip_prefix("--seed=") {
                 seed = s.parse().unwrap_or(0);
@@ -79,6 +109,11 @@ impl Invocation {
                 positional.push(a.clone());
             }
         }
+        // A dangling `--explain` with no code behaves like an unknown code
+        // (the lint handler reports it), not like a silent no-op.
+        if expect_explain {
+            explain = Some(String::new());
+        }
         Invocation {
             command,
             positional,
@@ -86,6 +121,9 @@ impl Invocation {
             seed,
             jobs,
             shards,
+            json,
+            all_presets,
+            explain,
         }
     }
 }
@@ -121,6 +159,11 @@ pub fn help_text() -> String {
        explore <wl>       design a custom manager for a workload\n\
        compare <wl>       footprint of every manager on a workload\n\
        phases <wl>        detect logical phases from DM behaviour alone\n\
+       lint <target>      static diagnostics (DM0xx/TR0xx) over a preset\n\
+                          configuration or a workload trace; targets are a\n\
+                          preset (drr_paper|kingsley_like|lea_like|neutral),\n\
+                          a workload, or --all-presets; --json for machines,\n\
+                          --explain CODE for one catalogue entry\n\
        help               this text\n\
      \n\
      WORKLOADS: drr | recon | render  (test scale; add --full for paper scale)\n\
@@ -149,20 +192,142 @@ pub fn space_text() -> String {
     out
 }
 
-/// `dmm interdep`.
+/// `dmm interdep`. Regenerated from the [`interdep::RULES`] and
+/// [`interdep::ARROWS`] tables — the same tables the lint engine reads —
+/// so each line carries the diagnostic code it fires under.
 pub fn interdep_text() -> String {
     let mut out = String::from("hard rules (full arrows):\n");
     for r in interdep::RULES {
-        let _ = writeln!(out, "  {}: {}", r.id, r.description);
+        let _ = writeln!(out, "  {} [{}]: {}", r.id, r.code, r.description);
     }
     out.push_str("soft arrows (linked purposes):\n");
     for a in interdep::ARROWS
         .iter()
         .filter(|a| a.kind == interdep::ArrowKind::Soft)
     {
-        let _ = writeln!(out, "  {} --> {}: {}", a.from.code(), a.to.code(), a.why);
+        let code = analyze::soft_arrow_code(a.from, a.to)
+            .map(|c| format!(" [{c}]"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {} --> {}{code}: {}",
+            a.from.code(),
+            a.to.code(),
+            a.why
+        );
     }
+    out.push_str("(dmm lint --explain CODE prints the catalogue entry)\n");
     out
+}
+
+/// One linted target: the element shape of `dmm lint --json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LintReport {
+    /// What was linted: a preset key or a workload name.
+    pub target: String,
+    /// `"config"` or `"trace"`.
+    pub kind: String,
+    /// Diagnostics in emission order (stable codes — see the catalogue).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// A preset constructor paired with its stable CLI key.
+type PresetEntry = (&'static str, fn() -> DmConfig);
+
+/// The shipped presets by stable key, in lint order.
+const PRESET_KEYS: &[PresetEntry] = &[
+    ("drr_paper", presets::drr_paper),
+    ("kingsley_like", presets::kingsley_like),
+    ("lea_like", presets::lea_like),
+    ("neutral", presets::neutral),
+];
+
+fn config_report(target: &str, cfg: &DmConfig) -> LintReport {
+    LintReport {
+        target: target.to_string(),
+        kind: "config".into(),
+        diagnostics: analyze::lint_config(cfg),
+    }
+}
+
+fn lint_reports(inv: &Invocation) -> Result<Vec<LintReport>> {
+    if inv.all_presets {
+        return Ok(PRESET_KEYS
+            .iter()
+            .map(|(k, f)| config_report(k, &f()))
+            .collect());
+    }
+    let Some(name) = inv.positional.first().map(String::as_str) else {
+        return Err(Error::InvalidConfig(
+            "lint needs a target: a preset (drr_paper|kingsley_like|lea_like|neutral), \
+             a workload (drr|recon|render), or --all-presets"
+                .into(),
+        ));
+    };
+    if let Some((k, f)) = PRESET_KEYS.iter().find(|(k, _)| *k == name) {
+        return Ok(vec![config_report(k, &f())]);
+    }
+    match name {
+        "drr" | "recon" | "render" => {
+            let w = workload(inv)?;
+            let trace = w.record()?;
+            Ok(vec![LintReport {
+                target: w.name().to_string(),
+                kind: "trace".into(),
+                diagnostics: analyze::lint_trace(&trace),
+            }])
+        }
+        other => Err(Error::InvalidConfig(format!(
+            "unknown lint target '{other}' (expected a preset drr_paper|kingsley_like|\
+             lea_like|neutral, a workload drr|recon|render, or --all-presets)"
+        ))),
+    }
+}
+
+/// `dmm lint <target>`: static diagnostics over a preset configuration or
+/// a recorded workload trace. `--json` emits machine-readable reports,
+/// `--explain CODE` prints one catalogue entry instead of linting.
+///
+/// # Errors
+///
+/// Unknown targets and unknown `--explain` codes are
+/// [`Error::InvalidConfig`]; workload recording failures propagate.
+pub fn lint_text(inv: &Invocation) -> Result<String> {
+    if let Some(code) = &inv.explain {
+        return match analyze::explain(code) {
+            Some(entry) => Ok(entry.explain_text()),
+            None => Err(Error::InvalidConfig(format!(
+                "unknown diagnostic code '{code}' (codes are DM0xx for configurations, \
+                 TR0xx for traces; see the README catalogue)"
+            ))),
+        };
+    }
+    let reports = lint_reports(inv)?;
+    if inv.json {
+        let mut s = serde_json::to_string(&reports)
+            .map_err(|e| Error::InvalidConfig(format!("lint serialization failed: {e}")))?;
+        s.push('\n');
+        return Ok(s);
+    }
+    let mut out = String::new();
+    let (mut errors, mut warns, mut notes) = (0usize, 0usize, 0usize);
+    for r in &reports {
+        if r.diagnostics.is_empty() {
+            let _ = writeln!(out, "{} ({}): clean", r.target, r.kind);
+            continue;
+        }
+        let _ = writeln!(out, "{} ({}):", r.target, r.kind);
+        for d in &r.diagnostics {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warn => warns += 1,
+                Severity::Note => notes += 1,
+            }
+            let _ = writeln!(out, "  {}", d.render());
+        }
+    }
+    let _ = writeln!(out, "{errors} error(s), {warns} warning(s), {notes} note(s)");
+    Ok(out)
 }
 
 /// `dmm profile <workload>`.
@@ -478,6 +643,7 @@ pub fn run(inv: &Invocation) -> Result<String> {
         "explore" => explore_text(inv),
         "compare" => compare_text(inv),
         "phases" => phases_text(inv),
+        "lint" => lint_text(inv),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(Error::InvalidConfig(format!(
             "unknown command '{other}' — try 'dmm help'"
@@ -562,6 +728,74 @@ mod tests {
         let s = interdep_text();
         assert!(s.contains("R1a"));
         assert!(s.contains("-->"));
+        // Every hard rule line carries its diagnostic code, straight from
+        // the same table the lint engine reads.
+        for r in interdep::RULES {
+            assert!(s.contains(r.code), "missing {} in interdep text", r.code);
+        }
+        assert!(s.contains("[DM020]"), "soft arrows carry advisory codes:\n{s}");
+    }
+
+    #[test]
+    fn parse_lint_flags() {
+        let i = inv(&["lint", "--all-presets", "--json"]);
+        assert_eq!(i.command, "lint");
+        assert!(i.json && i.all_presets);
+        assert_eq!(inv(&["lint", "--explain", "DM007"]).explain.as_deref(), Some("DM007"));
+        assert_eq!(inv(&["lint", "--explain=TR001"]).explain.as_deref(), Some("TR001"));
+        assert_eq!(
+            inv(&["lint", "--explain"]).explain.as_deref(),
+            Some(""),
+            "dangling --explain reads as an (unknown) empty code"
+        );
+    }
+
+    #[test]
+    fn lint_all_presets_json_round_trips_with_stable_codes() {
+        let out = lint_text(&inv(&["lint", "--all-presets", "--json"])).unwrap();
+        let reports: Vec<LintReport> = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert_eq!(r.kind, "config");
+            for d in &r.diagnostics {
+                assert!(
+                    d.code.starts_with("DM") && d.code.len() == 5,
+                    "unstable code {:?}",
+                    d.code
+                );
+                assert_ne!(
+                    d.severity,
+                    Severity::Error,
+                    "shipped preset {} carries an error: {}",
+                    r.target,
+                    d.render()
+                );
+            }
+        }
+        // Round trip: parse -> serialize is byte-identical.
+        let again = serde_json::to_string(&reports).unwrap();
+        assert_eq!(out.trim(), again);
+    }
+
+    #[test]
+    fn lint_workload_trace_is_clean() {
+        let out = lint_text(&inv(&["lint", "drr"])).unwrap();
+        assert!(out.contains("(trace): clean"), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_explain_prints_the_catalogue_entry() {
+        let out = lint_text(&inv(&["lint", "--explain", "DM007"])).unwrap();
+        assert!(out.starts_with("DM007"), "{out}");
+        assert!(out.contains("fix:"), "{out}");
+        assert!(lint_text(&inv(&["lint", "--explain", "DM999"])).is_err());
+    }
+
+    #[test]
+    fn lint_needs_a_target_and_rejects_unknown_ones() {
+        assert!(lint_text(&inv(&["lint"])).is_err());
+        assert!(lint_text(&inv(&["lint", "nosuch"])).is_err());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The `dmm` command-line tool. See [`dmm_cli`] for the subcommands.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let inv = dmm_cli::Invocation::parse(&args);

@@ -1,0 +1,217 @@
+//! Diagnostic values and the stable code catalogue.
+//!
+//! Every finding the static analyses can produce has a **stable code**:
+//! `DM0xx` for configuration lints, `TR0xx` for trace lints. Codes are
+//! append-only — a code is never renumbered or reused — so scripts, CI
+//! gates and test assertions can match on them instead of on prose.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::space::trees::TreeId;
+
+/// How serious a diagnostic is.
+///
+/// Ordered `Note < Warn < Error` so `max()` over a report yields the
+/// gating severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: a linked-purposes advisory, nothing wrong.
+    Note,
+    /// Suspicious: dead machinery, unreachable parameters, likely waste.
+    Warn,
+    /// Broken: the configuration or trace violates a hard contract.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the static analyses.
+///
+/// Carries the stable code, the severity, whether the finding licenses
+/// the exploration engine to skip the replay (`prune_safe`), the trees or
+/// trace events it points at, prose, and a machine-readable fix hint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (`DM0xx` config, `TR0xx` trace).
+    pub code: String,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Whether the finding proves the candidate replay-redundant: an
+    /// earlier-enumerated sibling configuration replays **bit-identically**
+    /// (see [`crate::analyze::config_lints::prune_reason`]), so skipping
+    /// the replay cannot change any exploration winner.
+    pub prune_safe: bool,
+    /// Decision trees the finding points at (empty for trace lints).
+    pub trees: Vec<TreeId>,
+    /// Trace event indices the finding points at (empty for config lints).
+    pub events: Vec<usize>,
+    /// Human-readable description of this specific occurrence.
+    pub message: String,
+    /// Machine-readable fix hint (what to change to silence the code).
+    pub fix: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic from its catalogue entry plus occurrence data.
+    pub(crate) fn from_entry(entry: &CatalogEntry, message: String) -> Self {
+        Diagnostic {
+            code: entry.code.to_string(),
+            severity: entry.severity,
+            prune_safe: entry.prune_safe,
+            trees: Vec::new(),
+            events: Vec::new(),
+            message,
+            fix: entry.fix.to_string(),
+        }
+    }
+
+    /// Attach the trees the finding points at.
+    pub(crate) fn with_trees(mut self, trees: &[TreeId]) -> Self {
+        self.trees = trees.to_vec();
+        self
+    }
+
+    /// Attach the trace event indices the finding points at.
+    pub(crate) fn with_events(mut self, events: Vec<usize>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// One-line human rendering, clippy style:
+    /// `warn[DM030]: A4 status bit is dead ... (fix: set A4 = size)`.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if !self.trees.is_empty() {
+            let codes: Vec<&str> = self.trees.iter().map(|t| t.code()).collect();
+            s.push_str(&format!(" [trees {}]", codes.join(",")));
+        }
+        if !self.events.is_empty() {
+            let idx: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+            s.push_str(&format!(" [events {}]", idx.join(",")));
+        }
+        s.push_str(&format!(" (fix: {})", self.fix));
+        s
+    }
+}
+
+/// One entry of the diagnostics catalogue — what `dmm lint --explain CODE`
+/// prints and what the README table is generated from.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// Stable code.
+    pub code: &'static str,
+    /// Severity the code fires at.
+    pub severity: Severity,
+    /// Whether findings with this code license skipping the replay.
+    pub prune_safe: bool,
+    /// One-line summary (for the hard-rule codes this *is*
+    /// [`crate::space::interdep::Rule::description`] — single source).
+    pub summary: &'static str,
+    /// Machine-readable fix hint.
+    pub fix: &'static str,
+    /// Longer explanation for `--explain`.
+    pub details: &'static str,
+}
+
+impl CatalogEntry {
+    /// Multi-line rendering for `dmm lint --explain CODE`.
+    pub fn explain_text(&self) -> String {
+        format!(
+            "{code}  severity: {sev}  prune-safe: {ps}\n  {summary}\n\n  {details}\n  fix: {fix}\n",
+            code = self.code,
+            sev = self.severity,
+            ps = if self.prune_safe { "yes" } else { "no" },
+            summary = self.summary,
+            details = self.details,
+            fix = self.fix,
+        )
+    }
+}
+
+/// The full catalogue: every code the analyses can emit, in code order.
+pub fn catalogue() -> Vec<CatalogEntry> {
+    let mut all = super::config_lints::config_catalogue();
+    all.extend_from_slice(super::trace_lints::TRACE_CATALOGUE);
+    all.sort_by(|a, b| a.code.cmp(b.code));
+    all
+}
+
+/// Look up one catalogue entry by its stable code (case-sensitive).
+pub fn explain(code: &str) -> Option<CatalogEntry> {
+    catalogue().into_iter().find(|e| e.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_note_warn_error() {
+        assert!(Severity::Note < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn catalogue_codes_are_unique_sorted_and_well_formed() {
+        let cat = catalogue();
+        assert!(cat.len() >= 25, "catalogue too small: {}", cat.len());
+        for w in cat.windows(2) {
+            assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+        }
+        for e in &cat {
+            assert!(
+                e.code.len() == 5 && (e.code.starts_with("DM") || e.code.starts_with("TR")),
+                "malformed code {}",
+                e.code
+            );
+            assert!(!e.summary.is_empty() && !e.fix.is_empty() && !e.details.is_empty());
+        }
+    }
+
+    #[test]
+    fn explain_finds_known_codes() {
+        let e = explain("DM007").expect("DM007 catalogued");
+        assert_eq!(e.severity, Severity::Error);
+        assert!(e.explain_text().contains("DM007"));
+        assert!(explain("DM999").is_none());
+    }
+
+    #[test]
+    fn prune_safe_entries_are_never_errors() {
+        // Prune-safe findings describe *valid but redundant* configs; hard
+        // violations are invalid and never enumerated, so the two sets
+        // must not overlap.
+        for e in catalogue() {
+            if e.prune_safe {
+                assert_ne!(e.severity, Severity::Error, "{}", e.code);
+            }
+        }
+    }
+
+    #[test]
+    fn diagnostic_serde_round_trips_with_stable_codes() {
+        let d = Diagnostic {
+            code: "DM030".into(),
+            severity: Severity::Warn,
+            prune_safe: true,
+            trees: vec![TreeId::A4RecordedInfo],
+            events: vec![],
+            message: "status bit is dead".into(),
+            fix: "set A4 = size".into(),
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("DM030"));
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -11,6 +11,11 @@
 //! capacity fail — `alloc` returns null, exactly like an exhausted embedded
 //! heap.
 
+// The one module of the workspace that needs `unsafe` (every other crate
+// forbids it): each unsafe operation must sit in its own block with its
+// obligation discharged locally, not ride on the enclosing unsafe fn.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout};
 use std::collections::HashMap;
 use std::ptr::NonNull;
@@ -154,14 +159,26 @@ unsafe impl<M: Allocator + Send> GlobalAlloc for ArenaAlloc<M> {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let Some(old) = NonNull::new(ptr) else {
-            return self.alloc(Layout::from_size_align_unchecked(new_size, layout.align()));
+            // Safety: `layout.align()` is a valid power of two by the
+            // caller's `Layout` contract; the size is the caller's request.
+            return unsafe {
+                self.alloc(Layout::from_size_align_unchecked(new_size, layout.align()))
+            };
         };
         if layout.align() > MIN_ALIGN {
             // Over-aligned blocks cannot resize in place safely; fall back
             // to allocate-copy-free.
-            let fresh = self.alloc(Layout::from_size_align_unchecked(new_size, layout.align()));
+            // Safety: alignment is a valid power of two per the `Layout`
+            // contract (same as above).
+            let fresh = unsafe {
+                self.alloc(Layout::from_size_align_unchecked(new_size, layout.align()))
+            };
             if !fresh.is_null() {
-                std::ptr::copy_nonoverlapping(ptr, fresh, layout.size().min(new_size));
+                // Safety: `ptr` is live for `layout.size()` bytes per the
+                // realloc contract, `fresh` is a distinct block at least
+                // `new_size` bytes long, and the copy length is the
+                // minimum of the two.
+                unsafe { std::ptr::copy_nonoverlapping(ptr, fresh, layout.size().min(new_size)) };
                 self.deallocate(old);
             }
             return fresh;
@@ -180,7 +197,11 @@ unsafe impl<M: Allocator + Send> GlobalAlloc for ArenaAlloc<M> {
                 }
                 let new_ptr = (self.buffer.as_ptr() as usize + offset) as *mut u8;
                 if !std::ptr::eq(new_ptr, ptr) {
-                    std::ptr::copy(ptr, new_ptr, layout.size().min(new_size));
+                    // Safety: both pointers lie inside the adapter's
+                    // buffer, the old block is live for `layout.size()`
+                    // bytes and the new one for `new_size`; `copy`
+                    // tolerates the ranges overlapping.
+                    unsafe { std::ptr::copy(ptr, new_ptr, layout.size().min(new_size)) };
                 }
                 inner.by_ptr.insert(new_ptr as usize, new_handle);
                 new_ptr

@@ -44,14 +44,17 @@ pub struct EngineCounters {
     pub replays: usize,
     /// Evaluations served from the replay cache.
     pub cache_hits: usize,
+    /// Candidates rejected by a prune-safe static lint before any replay
+    /// (or cache lookup) was scheduled. Not counted in `evaluations`.
+    pub statically_pruned: usize,
 }
 
 impl std::fmt::Display for EngineCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} evaluations ({} replays, {} cache hits)",
-            self.evaluations, self.replays, self.cache_hits
+            "{} evaluations ({} replays, {} cache hits, {} statically pruned)",
+            self.evaluations, self.replays, self.cache_hits, self.statically_pruned
         )
     }
 }
@@ -78,6 +81,7 @@ pub struct ExplorationEngine {
     evaluations: AtomicUsize,
     replays: AtomicUsize,
     cache_hits: AtomicUsize,
+    statically_pruned: AtomicUsize,
     /// Worker threads currently spawned by [`ExplorationEngine::run_parallel`]
     /// across all nesting levels — the shared budget that keeps
     /// phases × hypotheses × candidates from multiplying thread counts.
@@ -109,6 +113,7 @@ impl ExplorationEngine {
             evaluations: AtomicUsize::new(0),
             replays: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
+            statically_pruned: AtomicUsize::new(0),
             spawned: AtomicUsize::new(0),
         }
     }
@@ -129,7 +134,15 @@ impl ExplorationEngine {
             evaluations: self.evaluations.load(Ordering::Relaxed),
             replays: self.replays.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            statically_pruned: self.statically_pruned.load(Ordering::Relaxed),
         }
+    }
+
+    /// Candidates this engine rejected statically — a prune-safe lint
+    /// ([`crate::analyze::prune_reason`]) proved an earlier-enumerated
+    /// sibling replays bit-identically, so no replay was scheduled.
+    pub fn statically_pruned(&self) -> usize {
+        self.statically_pruned.load(Ordering::Relaxed)
     }
 
     /// The engine's replay cache (for diagnostics/tests).
@@ -195,6 +208,31 @@ impl ExplorationEngine {
         cfg: &DmConfig,
     ) -> Result<Evaluation> {
         self.evaluate_one(trace, key, cfg)
+    }
+
+    /// Like [`ExplorationEngine::evaluate_config_keyed`], but first asks
+    /// the static analyser for a **prune-safe** dominance reason. If one
+    /// fires, the candidate is skipped — `Ok(None)` — and counted in
+    /// [`ExplorationEngine::statically_pruned`] instead of scheduling a
+    /// replay. Prune-safe lints only fire when an earlier-enumerated
+    /// sibling replays bit-identically, so an exhaustive fold that keeps
+    /// the first-seen minimum is unaffected by the skips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager construction and replay failures of candidates
+    /// that were *not* pruned.
+    pub fn evaluate_pruned(
+        &self,
+        trace: &Trace,
+        key: TraceKey,
+        cfg: &DmConfig,
+    ) -> Result<Option<Evaluation>> {
+        if crate::analyze::prune_reason(cfg).is_some() {
+            self.statically_pruned.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        self.evaluate_one(trace, key, cfg).map(Some)
     }
 
     fn evaluate_one(&self, trace: &Trace, key: TraceKey, cfg: &DmConfig) -> Result<Evaluation> {

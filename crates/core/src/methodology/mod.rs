@@ -209,6 +209,7 @@ impl ShardedOutcome {
             evaluations: self.evaluations,
             replays: self.replays,
             cache_hits: self.cache_hits,
+            statically_pruned: 0,
         }
     }
 }
@@ -1014,6 +1015,53 @@ pub fn exhaustive_best(
         evaluated += 1;
         if best.as_ref().is_none_or(|(_, b)| fs.peak_footprint < *b) {
             best = Some((cfg, fs.peak_footprint));
+        }
+    }
+    let (cfg, peak) =
+        best.ok_or_else(|| Error::EmptySearchSpace("no configuration enumerated".into()))?;
+    Ok((cfg, peak, evaluated))
+}
+
+/// Like [`exhaustive_best`], but evaluating through an
+/// [`ExplorationEngine`] with the **prune-safe static lints** switched on:
+/// candidates carrying a prune-safe diagnostic
+/// ([`crate::analyze::prune_reason`]) are skipped without a replay and
+/// counted in [`ExplorationEngine::statically_pruned`].
+///
+/// The returned winner is bit-identical to [`exhaustive_best`] over the
+/// same prefix of the space: prune-safe lints only fire for candidates
+/// whose replay is byte-for-byte that of an **earlier-enumerated**
+/// sibling, and the fold keeps the first-seen strict minimum, so a pruned
+/// candidate could never have displaced the winner. The returned
+/// evaluation count is the number of candidates actually evaluated
+/// (replays + cache hits), i.e. enumerated minus pruned.
+///
+/// # Errors
+///
+/// Propagates replay errors; errors if the space yields nothing.
+pub fn exhaustive_best_with_engine(
+    trace: &Trace,
+    params: Params,
+    limit: Option<usize>,
+    engine: &ExplorationEngine,
+) -> Result<(DmConfig, usize, usize)> {
+    let iter = crate::space::enumerate::SpaceIter::with_order_and_params(
+        TRAVERSAL_ORDER.to_vec(),
+        params,
+    );
+    let key = cache::TraceKey::of(trace);
+    let mut best: Option<(DmConfig, usize)> = None;
+    let mut evaluated = 0usize;
+    for cfg in iter.take(limit.unwrap_or(usize::MAX)) {
+        let Some(eval) = engine.evaluate_pruned(trace, key, &cfg)? else {
+            continue;
+        };
+        evaluated += 1;
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| eval.stats.peak_footprint < *b)
+        {
+            best = Some((cfg, eval.stats.peak_footprint));
         }
     }
     let (cfg, peak) =

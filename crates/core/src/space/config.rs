@@ -304,8 +304,21 @@ impl DmConfigBuilder {
     pub fn leaf(mut self, leaf: Leaf) -> Result<Self> {
         let admissible = interdep::admissible_leaves(leaf.tree(), &self.partial);
         if !admissible.contains(&leaf) {
+            // Name the rule(s) the trial decision would break — the same
+            // table (and codes) `dmm lint` reports against.
+            let mut trial = self.partial.clone();
+            trial.set(leaf);
+            let broken: Vec<String> = interdep::violations(&trial)
+                .iter()
+                .map(|r| format!("{} [{}]", r.id, r.code))
+                .collect();
+            let why = if broken.is_empty() {
+                "conflicts with earlier decisions".to_string()
+            } else {
+                format!("violates {}", broken.join(", "))
+            };
             return Err(Error::InvalidConfig(format!(
-                "leaf '{leaf}' of tree {} conflicts with earlier decisions",
+                "leaf '{leaf}' of tree {} {why}",
                 leaf.tree().code()
             )));
         }
@@ -462,6 +475,10 @@ mod tests {
             .unwrap();
         let err = b.leaf(Leaf::A4(RecordedInfo::Size)).unwrap_err();
         assert!(matches!(err, Error::InvalidConfig(_)));
+        // The message names the broken rule and its diagnostic code, not
+        // just generic "conflict" prose.
+        let msg = err.to_string();
+        assert!(msg.contains("R1a") && msg.contains("DM001"), "{msg}");
     }
 
     #[test]

@@ -153,6 +153,43 @@ mod tests {
     }
 
     #[test]
+    fn prune_safe_findings_point_at_earlier_enumerated_siblings() {
+        // The static pruning contract: a prune-safe diagnostic may only
+        // fire when the bit-identical canonical sibling enumerates
+        // *earlier*, so a first-seen-minimum fold never loses a winner by
+        // skipping the flagged candidate. Check it over the whole default
+        // space against the actual DFS order.
+        use crate::analyze::prune_reason;
+        use crate::space::trees::{
+            BlockTags, CoalesceMaxSizes, RecordedInfo, SplitMinSizes, SplitWhen,
+        };
+        use std::collections::HashMap;
+        let key = |c: &DmConfig| -> Vec<Leaf> { TreeId::ALL.iter().map(|t| c.leaf(*t)).collect() };
+        let all: Vec<DmConfig> = SpaceIter::new().collect();
+        let index: HashMap<Vec<Leaf>, usize> =
+            all.iter().enumerate().map(|(i, c)| (key(c), i)).collect();
+        let mut pruned = 0usize;
+        for (i, cfg) in all.iter().enumerate() {
+            let Some(d) = prune_reason(cfg) else { continue };
+            pruned += 1;
+            let mut canon = cfg.clone();
+            match d.code.as_str() {
+                "DM030" => canon.recorded_info = RecordedInfo::Size,
+                "DM031" => canon.block_tags = BlockTags::Header,
+                "DM033" => canon.split_when = SplitWhen::Always,
+                "DM034" => canon.split_min = SplitMinSizes::Unrestricted,
+                "DM035" => canon.coalesce_max = CoalesceMaxSizes::Unlimited,
+                other => panic!("unexpected prune-safe code {other}"),
+            }
+            let j = index
+                .get(&key(&canon))
+                .unwrap_or_else(|| panic!("canonical sibling of #{i} ({}) not enumerated", d.code));
+            assert!(*j < i, "canonical sibling of #{i} enumerates later, at {j}");
+        }
+        assert!(pruned > 0, "default space contains prune-safe configurations");
+    }
+
+    #[test]
     fn presets_are_points_of_the_enumerated_space() {
         use crate::space::presets;
         let all: HashSet<Vec<Leaf>> = SpaceIter::new()

@@ -46,6 +46,10 @@ pub enum ArrowKind {
 pub struct Rule {
     /// Stable identifier, used in error messages and tests.
     pub id: &'static str,
+    /// Stable diagnostic code (`DM0xx`) under which [`crate::analyze`]
+    /// re-surfaces this rule. One rule, one code — the lint engine reads
+    /// this table instead of encoding the rules a second time.
+    pub code: &'static str,
     /// Trees mentioned by the rule (source first).
     pub trees: &'static [TreeId],
     /// Prose description (printed by the Figure 2/3 regenerators).
@@ -143,6 +147,7 @@ fn e2(p: &PartialConfig) -> Option<SplitWhen> {
 pub const RULES: &[Rule] = &[
     Rule {
         id: "R1a",
+        code: "DM001",
         trees: &[TreeId::A3BlockTags, TreeId::A4RecordedInfo],
         description: "A3 = none reserves no space, so A4 must be none (Figure 3)",
         check: |p| {
@@ -154,6 +159,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R1b",
+        code: "DM002",
         trees: &[TreeId::A4RecordedInfo, TreeId::A3BlockTags],
         description: "a tag that records nothing is pointless: A4 = none forces A3 = none",
         check: |p| {
@@ -165,6 +171,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R2",
+        code: "DM003",
         trees: &[TreeId::A5FlexibleSize, TreeId::A4RecordedInfo],
         description: "split/coalesce machinery needs the block size recorded in the tag",
         check: |p| {
@@ -176,6 +183,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R3a",
+        code: "DM004",
         trees: &[TreeId::D2CoalesceWhen, TreeId::A5FlexibleSize],
         description: "coalescing can only run if A5 provides the coalescing mechanism",
         check: |p| {
@@ -187,6 +195,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R3b",
+        code: "DM005",
         trees: &[TreeId::A5FlexibleSize, TreeId::D2CoalesceWhen],
         description: "a coalescing mechanism that never runs is dead weight",
         check: |p| {
@@ -198,6 +207,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R4a",
+        code: "DM006",
         trees: &[TreeId::E2SplitWhen, TreeId::A5FlexibleSize],
         description: "splitting can only run if A5 provides the splitting mechanism",
         check: |p| {
@@ -209,6 +219,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R4b",
+        code: "DM007",
         trees: &[TreeId::A5FlexibleSize, TreeId::E2SplitWhen],
         description: "a splitting mechanism that never runs is dead weight",
         check: |p| {
@@ -220,6 +231,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R5",
+        code: "DM008",
         trees: &[TreeId::D2CoalesceWhen, TreeId::A4RecordedInfo],
         description: "coalescing must see the free/used status of neighbours in the tag",
         check: |p| {
@@ -231,6 +243,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R6",
+        code: "DM009",
         trees: &[TreeId::B1PoolDivision, TreeId::B4PoolStructure],
         description: "a single pool needs no pool index beyond a trivial array slot",
         check: |p| {
@@ -242,6 +255,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R7",
+        code: "DM010",
         trees: &[TreeId::D2CoalesceWhen, TreeId::D1CoalesceMaxSizes],
         description: "with D2 = never, D1 is moot; canonical form fixes it to unlimited",
         check: |p| {
@@ -253,6 +267,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "R8",
+        code: "DM011",
         trees: &[TreeId::E2SplitWhen, TreeId::E1SplitMinSizes],
         description: "with E2 = never, E1 is moot; canonical form fixes it to unrestricted",
         check: |p| {
@@ -518,26 +533,41 @@ pub fn default_leaf(tree: TreeId, partial: &PartialConfig) -> Result<Leaf> {
         })
 }
 
+/// The rules that are outright violated by `partial`.
+///
+/// Undetermined rules are *not* reported — use [`validate_complete`] when
+/// completeness matters. This is the structured accessor behind the
+/// `DM001`–`DM011` diagnostics of [`crate::analyze`] and the rule-naming
+/// builder errors, so callers match on `Rule::id`/`Rule::code` instead of
+/// error prose.
+pub fn violations(partial: &PartialConfig) -> Vec<&'static Rule> {
+    RULES
+        .iter()
+        .filter(|r| r.check(partial) == RuleStatus::Violated)
+        .collect()
+}
+
 /// Check that a *complete* configuration satisfies every hard rule.
 ///
 /// # Errors
 ///
 /// Returns [`Error::InvalidConfig`] naming the first violated or
-/// undetermined rule.
+/// undetermined rule by its `Rule::id` *and* its stable `DM0xx` diagnostic
+/// code, so callers can match on either identifier instead of the prose.
 pub fn validate_complete(partial: &PartialConfig) -> Result<()> {
     for rule in RULES {
         match rule.check(partial) {
             RuleStatus::Satisfied => {}
             RuleStatus::Violated => {
                 return Err(Error::InvalidConfig(format!(
-                    "rule {} violated: {}",
-                    rule.id, rule.description
+                    "rule {} [{}] violated: {}",
+                    rule.id, rule.code, rule.description
                 )))
             }
             RuleStatus::Undetermined => {
                 return Err(Error::InvalidConfig(format!(
-                    "rule {} undetermined: configuration incomplete",
-                    rule.id
+                    "rule {} [{}] undetermined: configuration incomplete",
+                    rule.id, rule.code
                 )))
             }
         }
@@ -667,6 +697,32 @@ mod tests {
                 arrow.to
             );
         }
+    }
+
+    #[test]
+    fn rule_codes_are_unique_and_well_formed() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for rule in RULES {
+            assert!(
+                rule.code.len() == 5 && rule.code.starts_with("DM"),
+                "rule {} has malformed code {}",
+                rule.id,
+                rule.code
+            );
+            assert!(seen.insert(rule.code), "duplicate code {}", rule.code);
+        }
+    }
+
+    #[test]
+    fn violations_names_the_broken_rule() {
+        let mut p = empty();
+        p.set(Leaf::A3(BlockTags::None));
+        p.set(Leaf::A4(RecordedInfo::SizeAndStatus));
+        let v = violations(&p);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].id, "R1a");
+        assert_eq!(v[0].code, "DM001");
     }
 
     #[test]

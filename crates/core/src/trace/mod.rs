@@ -100,34 +100,14 @@ impl Trace {
     /// unconstrained — any sequence of ids is well-formed under the
     /// re-entrant contract documented on [`TraceEvent::Phase`].
     pub fn from_events(events: Vec<TraceEvent>) -> Result<Self> {
-        let mut live: HashMap<u64, ()> = HashMap::new();
-        let mut seen: HashMap<u64, ()> = HashMap::new();
-        for (i, ev) in events.iter().enumerate() {
-            match ev {
-                TraceEvent::Alloc { id, size } => {
-                    if *size == 0 {
-                        return Err(Error::MalformedTrace(format!(
-                            "event {i}: zero-size allocation of id {id}"
-                        )));
-                    }
-                    if seen.insert(*id, ()).is_some() {
-                        return Err(Error::MalformedTrace(format!(
-                            "event {i}: id {id} allocated twice"
-                        )));
-                    }
-                    live.insert(*id, ());
-                }
-                TraceEvent::Free { id } => {
-                    if live.remove(id).is_none() {
-                        return Err(Error::MalformedTrace(format!(
-                            "event {i}: free of unknown or dead id {id}"
-                        )));
-                    }
-                }
-                TraceEvent::Phase { .. } => {}
-            }
+        // The checks live in the trace sanitizer (single source for the
+        // `TR0xx` codes); this chokepoint covers every record, shard and
+        // deserialization path, so malformed input fails with a coded
+        // diagnostic instead of a mid-replay panic.
+        match crate::analyze::trace_lints::first_error(&events) {
+            Some(d) => Err(Error::MalformedTrace(format!("{}: {}", d.code, d.message))),
+            None => Ok(Trace { events }),
         }
-        Ok(Trace { events })
     }
 
     /// The events, in order.

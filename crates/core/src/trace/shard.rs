@@ -266,6 +266,56 @@ fn shard_by_windows(trace: &Trace, want: usize) -> Vec<TraceShard> {
         .collect()
 }
 
+/// Feasibility of cutting an event stream into lifetime-closed windows:
+/// the cheapest interior cut any forced window boundary could take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutFeasibility {
+    /// Event index after which the cheapest interior cut falls (the cut
+    /// severs the live set *after* this event). Earliest on ties.
+    pub best_cut_after: usize,
+    /// Live blocks that cut would carry across the boundary. Zero means a
+    /// lifetime-closed cut exists and sharding loses no signal.
+    pub min_live_blocks: usize,
+    /// Requested bytes that cut would carry across the boundary.
+    pub min_live_bytes: usize,
+}
+
+/// Scan `events` once and report the cheapest interior cut — the same
+/// `live-after` metric [`shard_trace`]'s forced-cut fallback minimises, so
+/// the `TR007` lint of [`crate::analyze::trace_lints`] predicts exactly
+/// what a forced cut would carry. Interior means after events
+/// `0..len-1`: cutting after the final event yields an empty window.
+/// Returns `None` for streams with fewer than two events.
+pub fn cut_feasibility(events: &[TraceEvent]) -> Option<CutFeasibility> {
+    if events.len() < 2 {
+        return None;
+    }
+    let mut sizes: HashMap<u64, usize> = HashMap::new();
+    let mut live_bytes = 0usize;
+    let mut best: Option<CutFeasibility> = None;
+    for (i, ev) in events[..events.len() - 1].iter().enumerate() {
+        match ev {
+            TraceEvent::Alloc { id, size } => {
+                sizes.insert(*id, *size);
+                live_bytes += size;
+            }
+            TraceEvent::Free { id } => {
+                live_bytes -= sizes.remove(id).unwrap_or(0);
+            }
+            TraceEvent::Phase { .. } => {}
+        }
+        let here = CutFeasibility {
+            best_cut_after: i,
+            min_live_blocks: sizes.len(),
+            min_live_bytes: live_bytes,
+        };
+        if best.is_none_or(|b| here.min_live_blocks < b.min_live_blocks) {
+            best = Some(here);
+        }
+    }
+    best
+}
+
 /// Result of a streaming sharded replay.
 #[derive(Debug, Clone)]
 pub struct ShardedReplay {
@@ -497,6 +547,23 @@ mod tests {
         // The bound is the largest shard, which cannot be smaller than a
         // fair quarter of the trace.
         assert!(sharded.peak_resident_trace_bytes >= whole_bytes / 8);
+    }
+
+    #[test]
+    fn cut_feasibility_matches_the_forced_cut_metric() {
+        // The spanning trace has no closed interior cut: the cheapest
+        // boundary carries exactly the long-lived 1000-byte object —
+        // the same carry shard_trace's forced cut reports.
+        let f = cut_feasibility(spanning_trace().events()).unwrap();
+        assert_eq!(f.min_live_blocks, 1);
+        assert_eq!(f.min_live_bytes, 1000);
+        // Drained churn windows expose a closed cut.
+        let f = cut_feasibility(churn_trace(2, 40).events()).unwrap();
+        assert_eq!(f.min_live_blocks, 0);
+        assert_eq!(f.min_live_bytes, 0);
+        // Degenerate streams have no interior cut at all.
+        assert!(cut_feasibility(&[]).is_none());
+        assert!(cut_feasibility(&[TraceEvent::Alloc { id: 1, size: 8 }]).is_none());
     }
 
     #[test]

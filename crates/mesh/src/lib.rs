@@ -12,6 +12,7 @@
 //! ones), which is exactly how the paper motivates its per-phase custom
 //! managers (Section 3.3 + the case-study discussion).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -12,6 +12,7 @@
 //! scheduler's DM behaviour (highly variable block sizes, queue build-up
 //! during bursts, frees at service time) is exactly what the manager sees.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -4,6 +4,7 @@
 //! ASCII tables (Table 1), CSV artefacts, footprint-over-time ASCII plots
 //! (Figure 5) and the percent-improvement arithmetic the paper reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -19,6 +19,7 @@
 //! Everything is deterministic per seed; the paper's "10 simulations" become
 //! 10 seeds.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

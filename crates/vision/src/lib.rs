@@ -15,6 +15,7 @@
 //! patterns that defeat static layout optimisation — the properties the
 //! paper's DM analysis relies on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

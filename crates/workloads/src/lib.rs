@@ -10,6 +10,7 @@
 //! every manager is evaluated on *identical* inputs (the paper's averaged
 //! 10-simulation protocol becomes 10 seeds).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

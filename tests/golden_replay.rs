@@ -251,6 +251,31 @@ const GOLDENS: &[(&str, GoldenTuple)] = &[
     ("large_churn-quick/sharded/neutral", (276236, 20, 238491, 193760, 2615, 3358, 13, 804, 804, 20)),
 ];
 
+/// The static analyser must wave every golden input through: presets lint
+/// free of error-severity diagnostics and every golden trace passes the
+/// sanitizer. This pins that the digests above are reproduced *with* the
+/// lint pass wired into the record/replay paths, not by bypassing it.
+#[test]
+fn golden_inputs_lint_clean() {
+    use dmm::core::analyze::{lint_config, lint_trace, Severity};
+    for cfg in presets::all() {
+        let errs: Vec<String> = lint_config(&cfg)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.render())
+            .collect();
+        assert!(errs.is_empty(), "preset '{}' has errors: {errs:?}", cfg.name);
+    }
+    for (name, trace) in workloads() {
+        let errs: Vec<String> = lint_trace(&trace)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.render())
+            .collect();
+        assert!(errs.is_empty(), "golden trace {name} fails the sanitizer: {errs:?}");
+    }
+}
+
 #[test]
 fn replays_match_pr4_goldens() {
     assert!(!GOLDENS.is_empty(), "golden table must be populated");

@@ -1,0 +1,105 @@
+//! Soundness of the prune-safe static lints.
+//!
+//! The exploration engine skips candidates carrying a prune-safe
+//! diagnostic ([`dmm::core::analyze::prune_reason`]) without replaying
+//! them. That is only sound if the skip can never change an exhaustive
+//! search's winner — prune-safe findings must exclusively flag candidates
+//! whose replay is bit-identical to an *earlier-enumerated* sibling, so a
+//! first-seen strict-minimum fold already holds the same result.
+//!
+//! This test runs the paper's quick case studies through both paths —
+//! [`exhaustive_best`] (no pruning, classic interpreter) and
+//! [`exhaustive_best_with_engine`] (pruning + compiled kernel) — over the
+//! same enumeration prefix and demands the identical winner and peak,
+//! while the pruned path actually skips work. Debug builds walk a bounded
+//! prefix of the space (replays are ~100× slower); release builds (CI)
+//! walk the whole pruned space.
+
+use dmm::core::analyze::prune_reason;
+use dmm::core::methodology::{exhaustive_best_with_engine, ExplorationEngine};
+use dmm::core::units::MIN_BLOCK;
+use dmm::prelude::*;
+use dmm::workloads::{DrrWorkload, RenderWorkload};
+
+fn leaf_key(cfg: &DmConfig) -> String {
+    cfg.summary()
+}
+
+fn check(name: &str, trace: &Trace, limit: Option<usize>) {
+    let engine = ExplorationEngine::serial();
+    // The full space includes A2 = profiled classes, which demands a
+    // non-empty class list — same provisioning the methodology performs
+    // before its own sweep.
+    let mut params = Params::footprint_optimised();
+    params.profiled_classes = vec![MIN_BLOCK, 2 * MIN_BLOCK, 4 * MIN_BLOCK, 8 * MIN_BLOCK];
+    let (plain_cfg, plain_peak, plain_n) =
+        exhaustive_best(trace, params.clone(), limit).unwrap();
+    let (pruned_cfg, pruned_peak, pruned_n) =
+        exhaustive_best_with_engine(trace, params, limit, &engine).unwrap();
+
+    assert_eq!(plain_peak, pruned_peak, "{name}: winner peak changed");
+    assert_eq!(
+        leaf_key(&plain_cfg),
+        leaf_key(&pruned_cfg),
+        "{name}: winner configuration changed"
+    );
+    let skipped = engine.statically_pruned();
+    assert!(skipped > 0, "{name}: static pruning never fired");
+    assert_eq!(
+        pruned_n + skipped,
+        plain_n,
+        "{name}: every enumerated candidate is either evaluated or pruned"
+    );
+    // The winner itself must never carry a prune-safe finding — if it did,
+    // the pruned path would have skipped it.
+    assert!(
+        prune_reason(&plain_cfg).is_none(),
+        "{name}: winner carries a prune-safe diagnostic"
+    );
+    assert_eq!(
+        engine.counters().statically_pruned,
+        skipped,
+        "counters snapshot agrees with the getter"
+    );
+}
+
+/// The README's "Static analysis" table is generated from
+/// [`dmm::core::analyze::catalogue`]; keep the two in lock-step so
+/// `--explain` and the documented codes never drift apart.
+#[test]
+fn readme_catalogue_table_matches_the_code() {
+    let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"));
+    let catalogue = dmm::core::analyze::catalogue();
+    assert!(!catalogue.is_empty());
+    for e in catalogue {
+        let row = format!(
+            "| `{}` | {} | {} | {} | {} |",
+            e.code,
+            e.severity,
+            if e.prune_safe { "yes" } else { "" },
+            e.summary,
+            e.fix
+        );
+        assert!(
+            readme.contains(&row),
+            "README catalogue row for {} is missing or stale; expected:\n{}",
+            e.code,
+            row
+        );
+    }
+}
+
+#[test]
+fn pruned_exhaustive_search_matches_unpruned_winner() {
+    // Debug replays are ~two orders of magnitude slower than release;
+    // bound the walk there. The prefix still covers every A3/A4 sibling
+    // group many times over (those trees enumerate innermost), so pruning
+    // fires within the first dozen candidates.
+    let limit = if cfg!(debug_assertions) { Some(600) } else { None };
+    check("drr-quick", &DrrWorkload::quick(0).record().unwrap(), limit);
+    check(
+        "render-quick",
+        &RenderWorkload::quick(0).record().unwrap(),
+        limit,
+    );
+}
