@@ -43,8 +43,35 @@ fn main() {
     }
     std::fs::write(&out, report.to_json()).expect("failed to write the JSON report");
     eprintln!("wrote {out}");
+    let e = &report.exploration;
+    eprintln!(
+        "exploration ({}): {} enumerated -> {} evaluations ({} replays, {} cache hits, \
+         {} statically pruned, {} bound pruned)",
+        e.workload, e.enumerated, e.evaluations, e.replays, e.cache_hits,
+        e.statically_pruned, e.bound_pruned
+    );
 
     if check {
+        // Branch-and-bound gate: the buckets must partition the enumerated
+        // space and both prune kinds must actually fire on the full
+        // release sweep.
+        if e.evaluations + e.statically_pruned + e.bound_pruned != e.enumerated
+            || e.statically_pruned == 0
+            || e.bound_pruned == 0
+        {
+            eprintln!(
+                "REGRESSION: exploration pruning accounting broken or a prune kind never \
+                 fired ({} + {} + {} vs {} enumerated)",
+                e.evaluations, e.statically_pruned, e.bound_pruned, e.enumerated
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "exploration gate ok: {:.1}% bound pruned, {:.1}% statically pruned",
+            100.0 * e.bound_pruned as f64 / e.enumerated as f64,
+            100.0 * e.statically_pruned as f64 / e.enumerated as f64
+        );
+
         let gate = report.gate_row();
         if gate.speedup < 1.0 {
             eprintln!(

@@ -13,7 +13,10 @@
 //! - `compare <workload>` — footprint table of every manager;
 //! - `lint <target>` — static diagnostics over a preset configuration or
 //!   a workload trace (`--json` for machines, `--explain CODE` for the
-//!   catalogue entry);
+//!   catalogue entry, `--deny SEVERITY` for a gating exit code);
+//! - `bounds <workload>` — admissible footprint floors
+//!   ([`dmm_core::analyze::lower_bound_peak`]) of every preset on a
+//!   workload trace, next to the replayed peaks they undercut;
 //! - `help` — usage.
 //!
 //! Workloads: `drr`, `recon`, `render` (add `--full` for paper scale,
@@ -62,6 +65,9 @@ pub struct Invocation {
     pub all_presets: bool,
     /// `--explain CODE` / `--explain=CODE`: print one catalogue entry.
     pub explain: Option<String>,
+    /// `--deny SEVERITY` / `--deny=SEVERITY`: fail (non-zero exit) when
+    /// any lint finding reaches the severity.
+    pub deny: Option<String>,
 }
 
 impl Invocation {
@@ -76,12 +82,17 @@ impl Invocation {
         let mut json = false;
         let mut all_presets = false;
         let mut explain = None;
+        let mut deny = None;
         let mut expect_explain = false;
+        let mut expect_deny = false;
         let mut seen_command = false;
         for a in args {
             if expect_explain {
                 explain = Some(a.clone());
                 expect_explain = false;
+            } else if expect_deny {
+                deny = Some(a.clone());
+                expect_deny = false;
             } else if a == "--json" {
                 json = true;
             } else if a == "--all-presets" {
@@ -91,6 +102,11 @@ impl Invocation {
                 expect_explain = true;
             } else if let Some(s) = a.strip_prefix("--explain=") {
                 explain = Some(s.to_string());
+            } else if a == "--deny" {
+                // The severity follows as the next argument.
+                expect_deny = true;
+            } else if let Some(s) = a.strip_prefix("--deny=") {
+                deny = Some(s.to_string());
             } else if a == "--full" {
                 full = true;
             } else if let Some(s) = a.strip_prefix("--seed=") {
@@ -109,10 +125,13 @@ impl Invocation {
                 positional.push(a.clone());
             }
         }
-        // A dangling `--explain` with no code behaves like an unknown code
-        // (the lint handler reports it), not like a silent no-op.
+        // A dangling `--explain`/`--deny` with no value behaves like an
+        // unknown value (the lint handler reports it), not a silent no-op.
         if expect_explain {
             explain = Some(String::new());
+        }
+        if expect_deny {
+            deny = Some(String::new());
         }
         Invocation {
             command,
@@ -124,6 +143,7 @@ impl Invocation {
             json,
             all_presets,
             explain,
+            deny,
         }
     }
 }
@@ -159,11 +179,15 @@ pub fn help_text() -> String {
        explore <wl>       design a custom manager for a workload\n\
        compare <wl>       footprint of every manager on a workload\n\
        phases <wl>        detect logical phases from DM behaviour alone\n\
-       lint <target>      static diagnostics (DM0xx/TR0xx) over a preset\n\
+       lint <target>      static diagnostics (DM0xx/TR0xx/BD0xx) over a preset\n\
                           configuration or a workload trace; targets are a\n\
                           preset (drr_paper|kingsley_like|lea_like|neutral),\n\
                           a workload, or --all-presets; --json for machines,\n\
-                          --explain CODE for one catalogue entry\n\
+                          --explain CODE for one catalogue entry,\n\
+                          --deny SEVERITY (note|warn|error) for a gating\n\
+                          non-zero exit when any finding reaches it\n\
+       bounds <wl>        admissible footprint floors of every preset on a\n\
+                          workload trace, next to the replayed peaks\n\
        help               this text\n\
      \n\
      WORKLOADS: drr | recon | render  (test scale; add --full for paper scale)\n\
@@ -284,49 +308,156 @@ fn lint_reports(inv: &Invocation) -> Result<Vec<LintReport>> {
     }
 }
 
+/// Parse a `--deny` severity name (`note`, `warn`, `error`).
+fn parse_severity(name: &str) -> Result<Severity> {
+    match name {
+        "note" => Ok(Severity::Note),
+        "warn" | "warning" => Ok(Severity::Warn),
+        "error" => Ok(Severity::Error),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown severity '{other}' for --deny (expected note, warn or error)"
+        ))),
+    }
+}
+
 /// `dmm lint <target>`: static diagnostics over a preset configuration or
 /// a recorded workload trace. `--json` emits machine-readable reports,
-/// `--explain CODE` prints one catalogue entry instead of linting.
+/// `--explain CODE` prints one catalogue entry instead of linting, and
+/// `--deny SEVERITY` turns any finding at or above the severity into an
+/// error (non-zero process exit) carrying the full report.
 ///
 /// # Errors
 ///
-/// Unknown targets and unknown `--explain` codes are
-/// [`Error::InvalidConfig`]; workload recording failures propagate.
+/// Unknown targets, unknown `--explain` codes and unknown `--deny`
+/// severities are [`Error::InvalidConfig`]; a tripped `--deny` threshold
+/// is too; workload recording failures propagate.
 pub fn lint_text(inv: &Invocation) -> Result<String> {
     if let Some(code) = &inv.explain {
         return match analyze::explain(code) {
             Some(entry) => Ok(entry.explain_text()),
             None => Err(Error::InvalidConfig(format!(
                 "unknown diagnostic code '{code}' (codes are DM0xx for configurations, \
-                 TR0xx for traces; see the README catalogue)"
+                 TR0xx for traces, BD0xx for bounds; see the README catalogue)"
             ))),
         };
     }
+    // Validate the threshold before doing any work, so a typo'd severity
+    // fails fast instead of silently gating nothing.
+    let deny = inv.deny.as_deref().map(parse_severity).transpose()?;
     let reports = lint_reports(inv)?;
-    if inv.json {
+    let out = if inv.json {
         let mut s = serde_json::to_string(&reports)
             .map_err(|e| Error::InvalidConfig(format!("lint serialization failed: {e}")))?;
         s.push('\n');
-        return Ok(s);
-    }
-    let mut out = String::new();
-    let (mut errors, mut warns, mut notes) = (0usize, 0usize, 0usize);
-    for r in &reports {
-        if r.diagnostics.is_empty() {
-            let _ = writeln!(out, "{} ({}): clean", r.target, r.kind);
-            continue;
-        }
-        let _ = writeln!(out, "{} ({}):", r.target, r.kind);
-        for d in &r.diagnostics {
-            match d.severity {
-                Severity::Error => errors += 1,
-                Severity::Warn => warns += 1,
-                Severity::Note => notes += 1,
+        s
+    } else {
+        let mut out = String::new();
+        let (mut errors, mut warns, mut notes) = (0usize, 0usize, 0usize);
+        for r in &reports {
+            if r.diagnostics.is_empty() {
+                let _ = writeln!(out, "{} ({}): clean", r.target, r.kind);
+                continue;
             }
-            let _ = writeln!(out, "  {}", d.render());
+            let _ = writeln!(out, "{} ({}):", r.target, r.kind);
+            for d in &r.diagnostics {
+                match d.severity {
+                    Severity::Error => errors += 1,
+                    Severity::Warn => warns += 1,
+                    Severity::Note => notes += 1,
+                }
+                let _ = writeln!(out, "  {}", d.render());
+            }
+        }
+        let _ = writeln!(out, "{errors} error(s), {warns} warning(s), {notes} note(s)");
+        out
+    };
+    if let Some(threshold) = deny {
+        let offenders: Vec<&Diagnostic> = reports
+            .iter()
+            .flat_map(|r| &r.diagnostics)
+            .filter(|d| d.severity >= threshold)
+            .collect();
+        if !offenders.is_empty() {
+            return Err(Error::InvalidConfig(format!(
+                "lint: {} finding(s) at or above --deny {threshold}:\n{}",
+                offenders.len(),
+                offenders
+                    .iter()
+                    .map(|d| format!("  {}", d.render()))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )));
         }
     }
-    let _ = writeln!(out, "{errors} error(s), {warns} warning(s), {notes} note(s)");
+    Ok(out)
+}
+
+/// `dmm bounds <workload>`: admissible footprint floors of every shipped
+/// preset on the workload's trace, next to the peaks their replays
+/// actually reach. The floor is [`analyze::lower_bound_peak`] — computed
+/// without replaying — so the table shows both how configurations rank
+/// before any simulation and how tight the static analysis is
+/// (`floor/peak`, 100% = exact). BD0xx advisories per configuration
+/// follow the table; `dmm lint --explain BD001` documents the contract.
+///
+/// # Errors
+///
+/// Propagates workload recording and replay failures.
+pub fn bounds_text(inv: &Invocation) -> Result<String> {
+    let w = workload(inv)?;
+    let trace = w.record()?;
+    let facts = analyze::TraceFacts::of(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name());
+    let _ = writeln!(
+        out,
+        "trace: {} events, live-set peak {} B in {} blocks",
+        trace.len(),
+        facts.peak.bytes,
+        facts.peak.blocks
+    );
+    let mut table = Table::new(
+        format!("admissible footprint floors on {}", w.name()),
+        vec![
+            "configuration".into(),
+            "lower bound".into(),
+            "dominant term".into(),
+            "replayed peak".into(),
+            "floor/peak".into(),
+        ],
+    );
+    let compiled = CompiledTrace::compile(&trace);
+    let mut advisories = String::new();
+    for (key, make) in PRESET_KEYS {
+        let cfg = make();
+        let breakdown = analyze::bound_breakdown(&facts, &cfg);
+        let bound = breakdown.total();
+        let mut mgr = PolicyAllocator::new(cfg.clone())?;
+        let fs = replay_compiled(&compiled, &mut mgr)?;
+        debug_assert!(bound <= fs.peak_footprint, "inadmissible bound for {key}");
+        table.push_row(
+            (*key).to_string(),
+            vec![
+                Cell::Bytes(bound),
+                Cell::Text(breakdown.dominant().to_string()),
+                Cell::Bytes(fs.peak_footprint),
+                Cell::Percent(100.0 * bound as f64 / fs.peak_footprint.max(1) as f64),
+            ],
+        );
+        for d in analyze::lint_bounds(&facts, &cfg) {
+            let _ = writeln!(advisories, "  [{key}] {}", d.render());
+        }
+    }
+    out.push_str(&table.to_ascii());
+    if !advisories.is_empty() {
+        let _ = writeln!(out, "advisories:");
+        out.push_str(&advisories);
+    }
+    let _ = writeln!(
+        out,
+        "(floors are admissible: bound <= replayed peak for every configuration; \
+         the exploration engine uses them to skip provably-losing candidates)"
+    );
     Ok(out)
 }
 
@@ -389,11 +520,17 @@ pub fn explore_text(inv: &Invocation) -> Result<String> {
     let outcome = Methodology::new().with_jobs(inv.jobs).explore(&trace)?;
     let mut out = String::new();
     let _ = writeln!(out, "workload: {}", w.name());
-    let _ = writeln!(
-        out,
-        "evaluations: {} ({} replays, {} cache hits)",
-        outcome.evaluations, outcome.replays, outcome.cache_hits
-    );
+    // Same counter line every exploration surface prints: the
+    // `EngineCounters` Display. Greedy exploration never prunes, so the
+    // pruned counters are zero here by construction.
+    let counters = dmm_core::methodology::EngineCounters {
+        evaluations: outcome.evaluations,
+        replays: outcome.replays,
+        cache_hits: outcome.cache_hits,
+        statically_pruned: 0,
+        bound_pruned: 0,
+    };
+    let _ = writeln!(out, "exploration: {counters}");
     let _ = writeln!(out, "decision log (traversal order of Section 4.2):");
     for d in &outcome.decisions {
         let _ = writeln!(out, "  {} -> {}", d.tree.code(), d.chosen);
@@ -462,11 +599,7 @@ fn explore_sharded_text(inv: &Invocation) -> Result<String> {
             s.events, s.outcome.footprint.peak_footprint, s.weight as usize
         );
     }
-    let _ = writeln!(
-        out,
-        "evaluations: {} ({} replays, {} cache hits)",
-        outcome.evaluations, outcome.replays, outcome.cache_hits
-    );
+    let _ = writeln!(out, "exploration: {}", outcome.counters());
     let _ = writeln!(out, "merge log (score-weighted vote per tree):");
     for d in &outcome.merges {
         let votes = d
@@ -644,6 +777,7 @@ pub fn run(inv: &Invocation) -> Result<String> {
         "compare" => compare_text(inv),
         "phases" => phases_text(inv),
         "lint" => lint_text(inv),
+        "bounds" => bounds_text(inv),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(Error::InvalidConfig(format!(
             "unknown command '{other}' — try 'dmm help'"
@@ -751,6 +885,34 @@ mod tests {
     }
 
     #[test]
+    fn parse_deny_flag_both_spellings() {
+        assert_eq!(inv(&["lint", "--deny", "error"]).deny.as_deref(), Some("error"));
+        assert_eq!(inv(&["lint", "--deny=warn"]).deny.as_deref(), Some("warn"));
+        assert_eq!(
+            inv(&["lint", "--deny"]).deny.as_deref(),
+            Some(""),
+            "dangling --deny reads as an (unknown) empty severity"
+        );
+        assert_eq!(inv(&["lint", "drr"]).deny, None);
+    }
+
+    #[test]
+    fn deny_gates_on_severity_and_rejects_unknown_thresholds() {
+        // Shipped presets carry warnings but no errors: error passes, note
+        // trips (every preset has at least an advisory or warning).
+        assert!(lint_text(&inv(&["lint", "--all-presets", "--deny", "error"])).is_ok());
+        let err = lint_text(&inv(&["lint", "--all-presets", "--deny", "note"]))
+            .expect_err("notes present, note threshold must trip");
+        let msg = err.to_string();
+        assert!(msg.contains("--deny note"), "{msg}");
+        assert!(msg.contains('['), "offending findings are listed: {msg}");
+        // The clean drr trace passes even the strictest gate.
+        assert!(lint_text(&inv(&["lint", "drr", "--deny", "note"])).is_ok());
+        // Unknown severity fails fast, before linting anything.
+        assert!(lint_text(&inv(&["lint", "drr", "--deny", "fatal"])).is_err());
+    }
+
+    #[test]
     fn lint_all_presets_json_round_trips_with_stable_codes() {
         let out = lint_text(&inv(&["lint", "--all-presets", "--json"])).unwrap();
         let reports: Vec<LintReport> = serde_json::from_str(out.trim()).unwrap();
@@ -796,6 +958,26 @@ mod tests {
     fn lint_needs_a_target_and_rejects_unknown_ones() {
         assert!(lint_text(&inv(&["lint"])).is_err());
         assert!(lint_text(&inv(&["lint", "nosuch"])).is_err());
+    }
+
+    #[test]
+    fn bounds_table_lists_every_preset_with_admissible_floors() {
+        let out = bounds_text(&inv(&["bounds", "drr"])).unwrap();
+        for key in ["drr_paper", "kingsley_like", "lea_like", "neutral"] {
+            assert!(out.contains(key), "missing {key} in:\n{out}");
+        }
+        assert!(out.contains("lower bound"), "{out}");
+        assert!(out.contains("floor/peak"), "{out}");
+        assert!(out.contains("BD001"), "every config gets the floor advisory:\n{out}");
+        assert!(run(&inv(&["bounds", "nosuch"])).is_err());
+    }
+
+    #[test]
+    fn explain_covers_the_bd_codes() {
+        for code in ["BD001", "BD002", "BD003", "BD004"] {
+            let out = lint_text(&inv(&["lint", "--explain", code])).unwrap();
+            assert!(out.starts_with(code), "{out}");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Diagnostic values and the stable code catalogue.
 //!
 //! Every finding the static analyses can produce has a **stable code**:
-//! `DM0xx` for configuration lints, `TR0xx` for trace lints. Codes are
+//! `DM0xx` for configuration lints, `TR0xx` for trace lints, `BD0xx` for
+//! footprint-bound advisories. Codes are
 //! append-only — a code is never renumbered or reused — so scripts, CI
 //! gates and test assertions can match on them instead of on prose.
 
@@ -42,7 +43,7 @@ impl fmt::Display for Severity {
 /// trace events it points at, prose, and a machine-readable fix hint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
-    /// Stable code (`DM0xx` config, `TR0xx` trace).
+    /// Stable code (`DM0xx` config, `TR0xx` trace, `BD0xx` bounds).
     pub code: String,
     /// How serious the finding is.
     pub severity: Severity,
@@ -142,6 +143,7 @@ impl CatalogEntry {
 pub fn catalogue() -> Vec<CatalogEntry> {
     let mut all = super::config_lints::config_catalogue();
     all.extend_from_slice(super::trace_lints::TRACE_CATALOGUE);
+    all.extend_from_slice(super::bounds::BOUNDS_CATALOGUE);
     all.sort_by(|a, b| a.code.cmp(b.code));
     all
 }
@@ -170,7 +172,10 @@ mod tests {
         }
         for e in &cat {
             assert!(
-                e.code.len() == 5 && (e.code.starts_with("DM") || e.code.starts_with("TR")),
+                e.code.len() == 5
+                    && (e.code.starts_with("DM")
+                        || e.code.starts_with("TR")
+                        || e.code.starts_with("BD")),
                 "malformed code {}",
                 e.code
             );

@@ -12,7 +12,7 @@ use crate::heap::block::Span;
 use crate::heap::index::{Found, FreeIndex, PoolIndex};
 use crate::space::config::DmConfig;
 use crate::space::trees::{BlockSizes, BlockStructure, FitAlgorithm, PoolDivision, PoolStructure};
-use crate::units::{align_up, pow2_class, MIN_ALIGN, MIN_BLOCK, POINTER_BYTES, SIZE_FIELD_BYTES};
+use crate::units::{pow2_class, MIN_BLOCK, POINTER_BYTES, SIZE_FIELD_BYTES};
 
 /// Sentinel pool id for free blocks that are deliberately *not* indexed
 /// (carving slack that a non-coalescing manager can never reuse).
@@ -92,18 +92,11 @@ impl Pools {
         }
     }
 
-    /// Round a block length according to the A2 decision.
+    /// Round a block length according to the A2 decision. Delegates to
+    /// [`crate::space::config::class_len_for`] — the same rounding the
+    /// footprint-bound analysis assumes, kept in one place by design.
     pub fn class_len(&self, len: usize) -> usize {
-        match self.sizes {
-            BlockSizes::Many => len,
-            BlockSizes::PowerOfTwoClasses => pow2_class(len),
-            BlockSizes::ProfiledClasses => self
-                .profiled
-                .iter()
-                .copied()
-                .find(|&c| c >= len)
-                .unwrap_or_else(|| align_up(len.max(MIN_BLOCK), MIN_ALIGN)),
-        }
+        crate::space::config::class_len_for(self.sizes, &self.profiled, len)
     }
 
     /// Pool id a block of `len` bytes belongs to, charging the routing cost
@@ -224,6 +217,7 @@ impl Pools {
 mod tests {
     use super::*;
     use crate::space::presets;
+    use crate::units::{align_up, MIN_ALIGN};
 
     #[test]
     fn single_pool_routes_everything_to_zero() {

@@ -47,16 +47,36 @@ pub struct EngineCounters {
     /// Candidates rejected by a prune-safe static lint before any replay
     /// (or cache lookup) was scheduled. Not counted in `evaluations`.
     pub statically_pruned: usize,
+    /// Candidates rejected by branch-and-bound: their admissible footprint
+    /// floor ([`crate::analyze::lower_bound_peak`]) already exceeded the
+    /// incumbent's replayed peak, so neither a replay nor a cache lookup
+    /// was scheduled. Not counted in `evaluations`.
+    pub bound_pruned: usize,
 }
 
 impl std::fmt::Display for EngineCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} evaluations ({} replays, {} cache hits, {} statically pruned)",
-            self.evaluations, self.replays, self.cache_hits, self.statically_pruned
+            "{} evaluations ({} replays, {} cache hits, {} statically pruned, {} bound pruned)",
+            self.evaluations,
+            self.replays,
+            self.cache_hits,
+            self.statically_pruned,
+            self.bound_pruned
         )
     }
+}
+
+/// The incumbent a branch-and-bound sweep compares candidates against:
+/// the best *replayed* peak so far and the enumeration position that
+/// achieved it (for exact first-seen-minimum tie-breaking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incumbent {
+    /// The incumbent's replayed peak footprint.
+    pub peak: usize,
+    /// The incumbent's enumeration index in the original space order.
+    pub order: usize,
 }
 
 /// One evaluated configuration.
@@ -82,6 +102,7 @@ pub struct ExplorationEngine {
     replays: AtomicUsize,
     cache_hits: AtomicUsize,
     statically_pruned: AtomicUsize,
+    bound_pruned: AtomicUsize,
     /// Worker threads currently spawned by [`ExplorationEngine::run_parallel`]
     /// across all nesting levels — the shared budget that keeps
     /// phases × hypotheses × candidates from multiplying thread counts.
@@ -114,6 +135,7 @@ impl ExplorationEngine {
             replays: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             statically_pruned: AtomicUsize::new(0),
+            bound_pruned: AtomicUsize::new(0),
             spawned: AtomicUsize::new(0),
         }
     }
@@ -135,6 +157,7 @@ impl ExplorationEngine {
             replays: self.replays.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             statically_pruned: self.statically_pruned.load(Ordering::Relaxed),
+            bound_pruned: self.bound_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -143,6 +166,14 @@ impl ExplorationEngine {
     /// sibling replays bit-identically, so no replay was scheduled.
     pub fn statically_pruned(&self) -> usize {
         self.statically_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Candidates this engine rejected by branch-and-bound — their
+    /// admissible footprint floor already lost to the incumbent's replayed
+    /// peak, so no replay or cache lookup was scheduled
+    /// (see [`ExplorationEngine::evaluate_bounded`]).
+    pub fn bound_pruned(&self) -> usize {
+        self.bound_pruned.load(Ordering::Relaxed)
     }
 
     /// The engine's replay cache (for diagnostics/tests).
@@ -231,6 +262,48 @@ impl ExplorationEngine {
         if crate::analyze::prune_reason(cfg).is_some() {
             self.statically_pruned.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
+        }
+        self.evaluate_one(trace, key, cfg).map(Some)
+    }
+
+    /// Branch-and-bound evaluation: [`ExplorationEngine::evaluate_pruned`]
+    /// plus an admission test against the incumbent's **actual** replayed
+    /// peak. A candidate whose admissible footprint floor (`bound`, from
+    /// [`crate::analyze::lower_bound_peak`]) already loses is skipped —
+    /// `Ok(None)` — and counted in [`ExplorationEngine::bound_pruned`],
+    /// with no replay *or cache lookup* scheduled.
+    ///
+    /// "Loses" is exact, not merely strict: with `bound > incumbent.peak`
+    /// the candidate's peak can only be worse; with `bound ==
+    /// incumbent.peak` it can at best *tie*, which only matters if the
+    /// candidate enumerates **earlier** than the incumbent (`order <
+    /// incumbent.order`) — the plain enumeration fold keeps the first-seen
+    /// minimum. Both skip cases therefore leave the winner of
+    /// [`exhaustive_best`](crate::methodology::exhaustive_best)
+    /// bit-identical, whatever order candidates are presented in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager construction and replay failures of candidates
+    /// that were *not* skipped.
+    pub fn evaluate_bounded(
+        &self,
+        trace: &Trace,
+        key: TraceKey,
+        cfg: &DmConfig,
+        bound: usize,
+        order: usize,
+        incumbent: Option<Incumbent>,
+    ) -> Result<Option<Evaluation>> {
+        if crate::analyze::prune_reason(cfg).is_some() {
+            self.statically_pruned.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        if let Some(inc) = incumbent {
+            if bound > inc.peak || (bound == inc.peak && order > inc.order) {
+                self.bound_pruned.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
         }
         self.evaluate_one(trace, key, cfg).map(Some)
     }
@@ -484,6 +557,55 @@ mod tests {
         renamed.name = "renamed".into();
         let _ = engine.evaluate_all(&t, &[renamed]).unwrap();
         assert_eq!(engine.compiled_traces(), 1);
+    }
+
+    #[test]
+    fn evaluate_bounded_skips_losers_and_ties_without_touching_the_cache() {
+        let t = trace();
+        let engine = ExplorationEngine::serial();
+        let key = TraceKey::of(&t);
+        let cfg = presets::drr_paper();
+        let eval = engine
+            .evaluate_bounded(&t, key, &cfg, 0, 0, None)
+            .unwrap()
+            .expect("no incumbent, must evaluate");
+        let inc = Incumbent {
+            peak: eval.stats.peak_footprint,
+            order: 0,
+        };
+        let cached = engine.cache().len();
+        // Strictly losing bound: skipped, and the cache is untouched.
+        let skipped = engine
+            .evaluate_bounded(&t, key, &presets::lea_like(), inc.peak + 1, 1, Some(inc))
+            .unwrap();
+        assert!(skipped.is_none());
+        // A tie that enumerates *later* than the incumbent can never win
+        // the first-seen-minimum fold: skipped too.
+        let tied_later = engine
+            .evaluate_bounded(&t, key, &presets::lea_like(), inc.peak, 2, Some(inc))
+            .unwrap();
+        assert!(tied_later.is_none());
+        assert_eq!(engine.cache().len(), cached, "skips must not touch the cache");
+        assert_eq!(engine.bound_pruned(), 2);
+        // A tie that enumerates *earlier* could displace the incumbent in
+        // the plain fold: it must still be evaluated.
+        let tied_earlier = engine
+            .evaluate_bounded(
+                &t,
+                key,
+                &presets::lea_like(),
+                inc.peak,
+                0,
+                Some(Incumbent {
+                    peak: inc.peak,
+                    order: 5,
+                }),
+            )
+            .unwrap();
+        assert!(tied_earlier.is_some());
+        let c = engine.counters();
+        assert_eq!(c.bound_pruned, 2);
+        assert_eq!(c.evaluations, 2, "incumbent + earlier tie");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 pub mod cache;
 pub mod engine;
 
-pub use engine::{EngineCounters, Evaluation, ExplorationEngine};
+pub use engine::{EngineCounters, Evaluation, ExplorationEngine, Incumbent};
 
 use serde::{Deserialize, Serialize};
 
@@ -210,6 +210,7 @@ impl ShardedOutcome {
             replays: self.replays,
             cache_hits: self.cache_hits,
             statically_pruned: 0,
+            bound_pruned: 0,
         }
     }
 }
@@ -1023,18 +1024,28 @@ pub fn exhaustive_best(
 }
 
 /// Like [`exhaustive_best`], but evaluating through an
-/// [`ExplorationEngine`] with the **prune-safe static lints** switched on:
-/// candidates carrying a prune-safe diagnostic
-/// ([`crate::analyze::prune_reason`]) are skipped without a replay and
-/// counted in [`ExplorationEngine::statically_pruned`].
+/// [`ExplorationEngine`] with **both static prunes** switched on — a
+/// branch-and-bound sweep of the space:
+///
+/// - candidates carrying a prune-safe diagnostic
+///   ([`crate::analyze::prune_reason`]) are skipped without a replay and
+///   counted in [`ExplorationEngine::statically_pruned`];
+/// - candidates whose admissible footprint floor
+///   ([`crate::analyze::lower_bound_peak`]) already loses to the incumbent
+///   are skipped without a replay *or a cache lookup* and counted in
+///   [`ExplorationEngine::bound_pruned`]. Candidates are visited
+///   **best-first** (ascending bound, enumeration order as tie-break) so
+///   the incumbent tightens as early as possible.
 ///
 /// The returned winner is bit-identical to [`exhaustive_best`] over the
 /// same prefix of the space: prune-safe lints only fire for candidates
 /// whose replay is byte-for-byte that of an **earlier-enumerated**
-/// sibling, and the fold keeps the first-seen strict minimum, so a pruned
-/// candidate could never have displaced the winner. The returned
-/// evaluation count is the number of candidates actually evaluated
-/// (replays + cache hits), i.e. enumerated minus pruned.
+/// sibling; the bound prune only skips candidates that are provably worse
+/// than the incumbent (or tie it with a later enumeration index), neither
+/// of which the first-seen strict-minimum fold would have kept; and the
+/// incumbent replacement rule reproduces that fold's tie-break exactly.
+/// The returned evaluation count is the number of candidates actually
+/// evaluated (replays + cache hits), i.e. enumerated minus pruned.
 ///
 /// # Errors
 ///
@@ -1045,27 +1056,39 @@ pub fn exhaustive_best_with_engine(
     limit: Option<usize>,
     engine: &ExplorationEngine,
 ) -> Result<(DmConfig, usize, usize)> {
-    let iter = crate::space::enumerate::SpaceIter::with_order_and_params(
+    let configs: Vec<DmConfig> = crate::space::enumerate::SpaceIter::with_order_and_params(
         TRAVERSAL_ORDER.to_vec(),
         params,
-    );
+    )
+    .take(limit.unwrap_or(usize::MAX))
+    .collect();
+    let facts = crate::analyze::TraceFacts::of(trace);
+    let ranked = crate::analyze::rank_by_bound(&facts, &configs);
     let key = cache::TraceKey::of(trace);
-    let mut best: Option<(DmConfig, usize)> = None;
+    // Incumbent = the candidate the plain first-seen-minimum fold over
+    // enumeration order would currently hold: smallest peak, earliest
+    // enumeration index among peak ties.
+    let mut best: Option<(usize, usize)> = None; // (peak, enum index)
     let mut evaluated = 0usize;
-    for cfg in iter.take(limit.unwrap_or(usize::MAX)) {
-        let Some(eval) = engine.evaluate_pruned(trace, key, &cfg)? else {
+    for &(order, bound) in &ranked {
+        let incumbent = best.map(|(peak, o)| engine::Incumbent { peak, order: o });
+        let Some(eval) =
+            engine.evaluate_bounded(trace, key, &configs[order], bound, order, incumbent)?
+        else {
             continue;
         };
         evaluated += 1;
-        if best
-            .as_ref()
-            .is_none_or(|(_, b)| eval.stats.peak_footprint < *b)
-        {
-            best = Some((cfg, eval.stats.peak_footprint));
+        let peak = eval.stats.peak_footprint;
+        if best.is_none_or(|(bp, bo)| peak < bp || (peak == bp && order < bo)) {
+            best = Some((peak, order));
         }
     }
-    let (cfg, peak) =
+    let (peak, order) =
         best.ok_or_else(|| Error::EmptySearchSpace("no configuration enumerated".into()))?;
+    let cfg = configs
+        .into_iter()
+        .nth(order)
+        .expect("winner index is in range");
     Ok((cfg, peak, evaluated))
 }
 

@@ -14,7 +14,7 @@ use crate::space::trees::{
     FlexibleSize, Leaf, PoolDivision, PoolStructure, RecordedInfo, SplitMinSizes, SplitWhen,
     TreeId,
 };
-use crate::units::{MIN_BLOCK, SBRK_GRANULARITY};
+use crate::units::{align_up, pow2_class, MIN_ALIGN, MIN_BLOCK, SBRK_GRANULARITY};
 
 /// Quantitative parameters referenced by parameterised leaves.
 ///
@@ -227,6 +227,24 @@ impl DmConfig {
         self.block_tags.copies() * self.recorded_info.field_bytes()
     }
 
+    /// Round a block length according to the A2 decision — the single
+    /// definition of class rounding, shared by the pool router
+    /// ([`crate::manager::pools::Pools::class_len`] delegates here) and
+    /// the footprint-bound abstract interpreter
+    /// ([`crate::analyze::bounds`]), so the two can never drift.
+    pub fn class_len(&self, len: usize) -> usize {
+        class_len_for(self.block_sizes, &self.params.profiled_classes, len)
+    }
+
+    /// The exact block span the policy allocator carves for a request of
+    /// `req` payload bytes: tag overhead added, alignment and minimum-block
+    /// rounding applied, then classed per A2. Mirrors the policy's own
+    /// `block_len_for`; monotone non-decreasing in `req`.
+    pub fn block_len_for(&self, req: usize) -> usize {
+        let padded = align_up(req + self.tag_bytes_per_block(), MIN_ALIGN).max(MIN_BLOCK);
+        self.class_len(padded)
+    }
+
     /// Whether the policy may split free blocks.
     pub fn may_split(&self) -> bool {
         self.flexible_size.allows_split() && self.split_when != SplitWhen::Never
@@ -264,6 +282,23 @@ impl DmConfig {
             let _ = write!(s, "{}={}", tree.code(), self.leaf(*tree));
         }
         s
+    }
+}
+
+/// The A2 class rounding itself, over raw leaf + class list — the one
+/// implementation behind [`DmConfig::class_len`] and
+/// [`crate::manager::pools::Pools::class_len`]. Profiled lengths above the
+/// largest class fall through to plain alignment rounding (the overflow
+/// pool stores exact, aligned lengths).
+pub fn class_len_for(sizes: BlockSizes, profiled: &[usize], len: usize) -> usize {
+    match sizes {
+        BlockSizes::Many => len,
+        BlockSizes::PowerOfTwoClasses => pow2_class(len),
+        BlockSizes::ProfiledClasses => profiled
+            .iter()
+            .copied()
+            .find(|&c| c >= len)
+            .unwrap_or_else(|| align_up(len.max(MIN_BLOCK), MIN_ALIGN)),
     }
 }
 

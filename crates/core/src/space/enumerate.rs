@@ -190,6 +190,57 @@ mod tests {
     }
 
     #[test]
+    fn every_enumerated_config_has_a_well_defined_bound_rank() {
+        // The branch-and-bound explorer ranks the enumeration by
+        // (admissible floor, enumeration index). Over a prefix spanning
+        // several A2 subtrees: the ranking must be a permutation of the
+        // indices, sorted by that key, with every bound well-defined and
+        // at least the configuration's static overhead.
+        use crate::analyze::{bound_breakdown, lower_bound_peak, rank_by_bound, TraceFacts};
+        use crate::units::MIN_BLOCK;
+
+        let mut b = crate::trace::Trace::builder();
+        let ids: Vec<u64> = (0..12).map(|i| b.alloc(24 + 16 * i)).collect();
+        for id in ids {
+            b.free(id);
+        }
+        let facts = TraceFacts::of(&b.finish().unwrap());
+
+        let mut params = Params::footprint_optimised();
+        params.profiled_classes = vec![MIN_BLOCK, 2 * MIN_BLOCK, 4 * MIN_BLOCK];
+        let configs: Vec<DmConfig> = SpaceIter::with_order_and_params(
+            crate::space::order::TRAVERSAL_ORDER.to_vec(),
+            params,
+        )
+        .take(2000)
+        .collect();
+
+        let ranked = rank_by_bound(&facts, &configs);
+        assert_eq!(ranked.len(), configs.len());
+        let mut seen: Vec<usize> = ranked.iter().map(|&(i, _)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..configs.len()).collect::<Vec<_>>(), "not a permutation");
+        for w in ranked.windows(2) {
+            let (ia, ba) = w[0];
+            let (ib, bb) = w[1];
+            assert!(
+                ba < bb || (ba == bb && ia < ib),
+                "ranking not sorted by (bound, index): ({ia},{ba}) before ({ib},{bb})"
+            );
+        }
+        for &(i, bound) in &ranked {
+            assert_eq!(bound, lower_bound_peak(&facts, &configs[i]), "rank caches the bound");
+            let breakdown = bound_breakdown(&facts, &configs[i]);
+            assert_eq!(bound, breakdown.total());
+            assert!(
+                bound >= breakdown.static_overhead,
+                "bound below static overhead for {}",
+                configs[i].summary()
+            );
+        }
+    }
+
+    #[test]
     fn presets_are_points_of_the_enumerated_space() {
         use crate::space::presets;
         let all: HashSet<Vec<Leaf>> = SpaceIter::new()

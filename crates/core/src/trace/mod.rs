@@ -659,6 +659,95 @@ mod tests {
     }
 
     #[test]
+    fn live_set_peak_normalises_zero_size_adjacent_requests() {
+        // The builder records malloc(0) as one byte; a zero-size request
+        // sitting next to genuine 1-byte requests must land in the same
+        // histogram bucket, not create a phantom zero-size class.
+        let mut b = Trace::builder();
+        let z = b.alloc(0); // recorded as 1
+        let one = b.alloc(1);
+        let two = b.alloc(2);
+        b.free(z);
+        b.free(one);
+        b.free(two);
+        let t = b.finish().unwrap();
+        let peak = t.live_set_peak();
+        assert_eq!(peak.bytes, 1 + 1 + 2, "zero-size alloc counts as one byte");
+        assert_eq!(peak.blocks, 3);
+        let facts = crate::analyze::TraceFacts::of(&t);
+        assert_eq!(facts.peak, peak);
+        // One size-1 class with both blocks in it, one size-2 class.
+        assert_eq!(facts.max_simultaneous, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn live_set_peak_is_phase_blind_on_reentrant_traces() {
+        // Phase markers never move the live set: a re-entrant 0,1,0,1
+        // trace and its marker-free twin report identical peaks, while
+        // the facts pass still merges re-entered segments into one
+        // profile per phase id.
+        let build = |with_markers: bool| {
+            let mut b = Trace::builder();
+            let mut carried: Option<u64> = None;
+            for round in 0..6u32 {
+                if with_markers {
+                    b.phase(round % 2);
+                }
+                let id = b.alloc(100 + round as usize);
+                if let Some(p) = carried.take() {
+                    b.free(p);
+                }
+                carried = Some(id);
+            }
+            if let Some(p) = carried {
+                b.free(p);
+            }
+            b.finish().unwrap()
+        };
+        let phased = build(true);
+        let flat = build(false);
+        assert!(!phased.phases_are_monotonic());
+        assert_eq!(phased.live_set_peak(), flat.live_set_peak());
+        let facts = crate::analyze::TraceFacts::of(&phased);
+        assert_eq!(facts.peak, flat.live_set_peak());
+        assert_eq!(facts.phases.len(), 2, "re-entered phases merge");
+        // Every phase saw at most two simultaneously-live blocks.
+        for p in &facts.phases {
+            assert_eq!(p.peak_live_blocks, 2, "phase {}", p.phase);
+        }
+    }
+
+    #[test]
+    fn live_set_peak_on_single_phase_traces_matches_the_unmarked_twin() {
+        // A single leading marker delimits one segment covering the whole
+        // trace; peaks and per-phase facts must match the unmarked twin.
+        let build = |marked: bool| {
+            let mut b = Trace::builder();
+            if marked {
+                b.phase(0);
+            }
+            let a = b.alloc(64);
+            let c = b.alloc(32);
+            b.free(a);
+            let d = b.alloc(8);
+            b.free(c);
+            b.free(d);
+            b.finish().unwrap()
+        };
+        let marked = build(true);
+        let flat = build(false);
+        assert_eq!(marked.live_set_peak(), flat.live_set_peak());
+        assert_eq!(marked.live_set_peak().bytes, 96);
+        assert_eq!(marked.live_set_peak().blocks, 2);
+        let mf = crate::analyze::TraceFacts::of(&marked);
+        let ff = crate::analyze::TraceFacts::of(&flat);
+        assert_eq!(mf.phases.len(), 1);
+        assert_eq!(mf.phases, ff.phases, "a lone phase-0 marker changes nothing");
+        assert_eq!(mf.phases[0].peak_live_bytes, 96);
+        assert_eq!(mf.phases[0].boundary.carried_blocks, 0);
+    }
+
+    #[test]
     fn reentrant_phase_markers_merge_into_owning_buckets() {
         // The rendering workload's discipline: 0, 1, 0, 1 … — markers
         // revisit earlier phases, and split_phases merges the segments.

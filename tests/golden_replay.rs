@@ -276,6 +276,36 @@ fn golden_inputs_lint_clean() {
     }
 }
 
+/// The admissible footprint floor holds against the golden digests
+/// themselves: for every golden workload × preset, the bound the abstract
+/// interpreter computes from trace facts alone never exceeds the
+/// whole-trace peak the goldens pin (classic and compiled rows share it).
+/// Sharded rows are excluded — a whole-trace floor is not a bound on a
+/// shard's local peak.
+#[test]
+fn footprint_floor_is_admissible_against_the_goldens() {
+    use dmm::core::analyze::{lower_bound_peak, TraceFacts};
+    let mut checked = 0usize;
+    for (wname, trace) in workloads() {
+        let facts = TraceFacts::of(&trace);
+        for cfg in presets::all() {
+            let label = format!("{wname}/classic/{}", cfg.name);
+            let (_, gtuple) = GOLDENS
+                .iter()
+                .find(|(l, _)| *l == label)
+                .expect("every workload x preset has a classic golden");
+            let golden_peak = gtuple.0;
+            let bound = lower_bound_peak(&facts, &cfg);
+            assert!(
+                bound <= golden_peak,
+                "{label}: floor {bound} above the golden peak {golden_peak}"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 16, "workload x preset coverage changed");
+}
+
 #[test]
 fn replays_match_pr4_goldens() {
     assert!(!GOLDENS.is_empty(), "golden table must be populated");

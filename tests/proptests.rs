@@ -315,6 +315,58 @@ proptest! {
     }
 }
 
+// Admissibility of the static footprint floor.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The abstract interpreter's floor is admissible: for every preset,
+    /// on random flat and phased traces, `lower_bound_peak(facts, cfg)`
+    /// never exceeds the peak footprint an actual replay reports. This is
+    /// the soundness contract that makes bound pruning safe — an
+    /// inadmissible bound could retire the true winner.
+    #[test]
+    fn footprint_floor_is_admissible(
+        flat in trace_strategy(100, 4096),
+        phased in phased_trace_strategy(30, 2048),
+    ) {
+        use dmm::core::analyze::{lower_bound_peak, TraceFacts};
+        for trace in [&flat, &phased] {
+            let facts = TraceFacts::of(trace);
+            for cfg in presets::all() {
+                let mut m = PolicyAllocator::new(cfg.clone()).expect("valid");
+                let fs = replay(trace, &mut m).expect("replay");
+                let bound = lower_bound_peak(&facts, &cfg);
+                prop_assert!(
+                    bound <= fs.peak_footprint,
+                    "{}: floor {} above replayed peak {}",
+                    cfg.name, bound, fs.peak_footprint
+                );
+            }
+        }
+    }
+
+    /// Admissibility holds on re-entrant-phase traces too — the phase
+    /// discipline whose per-phase facts are most likely to double-count
+    /// live blocks if the interpreter were wrong.
+    #[test]
+    fn footprint_floor_is_admissible_on_reentrant_phases(
+        trace in reentrant_phase_strategy(8, 2048),
+    ) {
+        use dmm::core::analyze::{lower_bound_peak, TraceFacts};
+        let facts = TraceFacts::of(&trace);
+        for cfg in presets::all() {
+            let mut m = PolicyAllocator::new(cfg.clone()).expect("valid");
+            let fs = replay(&trace, &mut m).expect("replay");
+            let bound = lower_bound_peak(&facts, &cfg);
+            prop_assert!(
+                bound <= fs.peak_footprint,
+                "{}: floor {} above replayed peak {}",
+                cfg.name, bound, fs.peak_footprint
+            );
+        }
+    }
+}
+
 // Exploration-heavy properties run fewer cases.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
