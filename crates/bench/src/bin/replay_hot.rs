@@ -46,23 +46,35 @@ fn main() {
     let e = &report.exploration;
     eprintln!(
         "exploration ({}): {} enumerated -> {} evaluations ({} replays, {} cache hits, \
-         {} statically pruned, {} bound pruned)",
+         {} statically pruned, {} bound pruned, {} quarantined, {} budget exceeded)",
         e.workload, e.enumerated, e.evaluations, e.replays, e.cache_hits,
-        e.statically_pruned, e.bound_pruned
+        e.statically_pruned, e.bound_pruned, e.quarantined, e.budget_exceeded
     );
 
     if check {
-        // Branch-and-bound gate: the buckets must partition the enumerated
-        // space and both prune kinds must actually fire on the full
-        // release sweep.
-        if e.evaluations + e.statically_pruned + e.bound_pruned != e.enumerated
+        // Branch-and-bound gate: the buckets (including the resilience
+        // counters) must partition the enumerated space, both prune kinds
+        // must actually fire on the full release sweep, and an uninjected,
+        // unbudgeted sweep must be fault-free.
+        if e.evaluations + e.statically_pruned + e.bound_pruned + e.quarantined
+            + e.budget_exceeded
+            != e.enumerated
             || e.statically_pruned == 0
             || e.bound_pruned == 0
         {
             eprintln!(
                 "REGRESSION: exploration pruning accounting broken or a prune kind never \
-                 fired ({} + {} + {} vs {} enumerated)",
-                e.evaluations, e.statically_pruned, e.bound_pruned, e.enumerated
+                 fired ({} + {} + {} + {} + {} vs {} enumerated)",
+                e.evaluations, e.statically_pruned, e.bound_pruned, e.quarantined,
+                e.budget_exceeded, e.enumerated
+            );
+            std::process::exit(1);
+        }
+        if e.quarantined != 0 || e.budget_exceeded != 0 {
+            eprintln!(
+                "REGRESSION: healthy sweep reported faults ({} quarantined, {} budget \
+                 exceeded) with no fault plan or budget installed",
+                e.quarantined, e.budget_exceeded
             );
             std::process::exit(1);
         }

@@ -17,10 +17,18 @@
 //! - `bounds <workload>` — admissible footprint floors
 //!   ([`dmm_core::analyze::lower_bound_peak`]) of every preset on a
 //!   workload trace, next to the replayed peaks they undercut;
+//! - `record <workload> --out=FILE` — record a workload once and write the
+//!   trace as a durable checksummed file (`--trace=FILE` feeds it back to
+//!   `profile`/`explore`/`compare`; `--recover` salvages the valid prefix
+//!   of a damaged file);
 //! - `help` — usage.
 //!
 //! Workloads: `drr`, `recon`, `render` (add `--full` for paper scale,
 //! `--seed=N` to change the input).
+//!
+//! Robustness flags: `--checkpoint=FILE` journals every completed replay
+//! so a killed sweep resumes with `--resume` (bit-identical winner);
+//! `--budget-steps=N`/`--budget-ms=N` bound each candidate replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,13 +40,13 @@ use dmm_baselines::{KingsleyAllocator, LeaAllocator, ObstackAllocator, RegionAll
 use dmm_core::analyze::{self, Diagnostic, Severity};
 use dmm_core::error::{Error, Result};
 use dmm_core::manager::{Allocator, PolicyAllocator};
-use dmm_core::methodology::Methodology;
+use dmm_core::methodology::{BudgetSpec, CheckpointJournal, ExplorationEngine, Methodology};
 use dmm_core::profile::Profile;
 use dmm_core::space::config::DmConfig;
 use dmm_core::space::interdep;
 use dmm_core::space::presets;
 use dmm_core::space::trees::{Category, TreeId};
-use dmm_core::trace::{replay_compiled, CompiledTrace};
+use dmm_core::trace::{replay_compiled, CompiledTrace, Trace};
 use dmm_report::{Cell, Table};
 use dmm_workloads::{DrrWorkload, ReconWorkload, RenderWorkload, Workload};
 use serde::{Deserialize, Serialize};
@@ -68,6 +76,26 @@ pub struct Invocation {
     /// `--deny SEVERITY` / `--deny=SEVERITY`: fail (non-zero exit) when
     /// any lint finding reaches the severity.
     pub deny: Option<String>,
+    /// `--trace=FILE`: operate on a durable trace file (written by
+    /// `dmm record`) instead of recording the workload live.
+    pub trace: Option<String>,
+    /// `--out=FILE`: where `dmm record` writes the durable trace.
+    pub out: Option<String>,
+    /// `--checkpoint=FILE`: journal completed replays for crash resume.
+    pub checkpoint: Option<String>,
+    /// `--resume` flag: resume from the `--checkpoint` journal instead of
+    /// truncating it.
+    pub resume: bool,
+    /// `--recover` flag: salvage the valid prefix of a damaged
+    /// `--trace` file instead of failing on the first defect.
+    pub recover: bool,
+    /// `--budget-steps=N`: per-candidate replay budget in search steps
+    /// (malformed values read as 0 and trip immediately — loud, not
+    /// silently unlimited).
+    pub budget_steps: Option<u64>,
+    /// `--budget-ms=N`: per-candidate replay budget in wall-clock
+    /// milliseconds (malformed values read as 0).
+    pub budget_ms: Option<u64>,
 }
 
 impl Invocation {
@@ -83,6 +111,13 @@ impl Invocation {
         let mut all_presets = false;
         let mut explain = None;
         let mut deny = None;
+        let mut trace = None;
+        let mut out = None;
+        let mut checkpoint = None;
+        let mut resume = false;
+        let mut recover = false;
+        let mut budget_steps = None;
+        let mut budget_ms = None;
         let mut expect_explain = false;
         let mut expect_deny = false;
         let mut seen_command = false;
@@ -109,6 +144,22 @@ impl Invocation {
                 deny = Some(s.to_string());
             } else if a == "--full" {
                 full = true;
+            } else if a == "--resume" {
+                resume = true;
+            } else if a == "--recover" {
+                recover = true;
+            } else if let Some(s) = a.strip_prefix("--trace=") {
+                trace = Some(s.to_string());
+            } else if let Some(s) = a.strip_prefix("--out=") {
+                out = Some(s.to_string());
+            } else if let Some(s) = a.strip_prefix("--checkpoint=") {
+                checkpoint = Some(s.to_string());
+            } else if let Some(s) = a.strip_prefix("--budget-steps=") {
+                // A malformed budget trips immediately (0) rather than
+                // silently running unlimited.
+                budget_steps = Some(s.parse().unwrap_or(0));
+            } else if let Some(s) = a.strip_prefix("--budget-ms=") {
+                budget_ms = Some(s.parse().unwrap_or(0));
             } else if let Some(s) = a.strip_prefix("--seed=") {
                 seed = s.parse().unwrap_or(0);
             } else if let Some(s) = a.strip_prefix("--jobs=") {
@@ -144,6 +195,13 @@ impl Invocation {
             all_presets,
             explain,
             deny,
+            trace,
+            out,
+            checkpoint,
+            resume,
+            recover,
+            budget_steps,
+            budget_ms,
         }
     }
 }
@@ -164,6 +222,132 @@ fn workload(inv: &Invocation) -> Result<Box<dyn Workload>> {
         }
     };
     Ok(w)
+}
+
+/// The trace a subcommand operates on: loaded from a durable
+/// `--trace=FILE` (written by `dmm record`), or recorded live from the
+/// named workload. Returns the display name, the trace, and — when
+/// `--recover` salvaged a damaged file — a note describing the stopping
+/// defect.
+fn trace_source(inv: &Invocation) -> Result<(String, Trace, Option<String>)> {
+    let Some(path) = &inv.trace else {
+        let w = workload(inv)?;
+        return Ok((w.name().to_string(), w.record()?, None));
+    };
+    let p = std::path::Path::new(path);
+    if inv.recover {
+        let rec = dmm_core::trace::recover_trace(p)?;
+        let note = rec.truncated.as_ref().map(|e| {
+            format!(
+                "recovered valid prefix of {path}: {} frame(s), {} event(s); stopped at: {e}",
+                rec.frames,
+                rec.trace.len()
+            )
+        });
+        Ok((path.clone(), rec.trace, note))
+    } else {
+        Ok((path.clone(), dmm_core::trace::read_trace(p)?, None))
+    }
+}
+
+/// The exploration engine a subcommand evaluates through, with the
+/// robustness flags applied: per-candidate budgets (quarantine mode comes
+/// with them, so budget trips in sweeps skip the candidate instead of
+/// aborting the sweep) and the checkpoint journal.
+fn engine_for(inv: &Invocation) -> Result<ExplorationEngine> {
+    if inv.resume && inv.checkpoint.is_none() {
+        return Err(Error::InvalidConfig(
+            "--resume needs --checkpoint=FILE (the journal to resume from)".into(),
+        ));
+    }
+    let mut engine = ExplorationEngine::new(inv.jobs);
+    if inv.budget_steps.is_some() || inv.budget_ms.is_some() {
+        engine.set_budget(BudgetSpec {
+            max_steps: inv.budget_steps,
+            max_millis: inv.budget_ms,
+        });
+        engine.set_quarantine(true);
+    }
+    if let Some(path) = &inv.checkpoint {
+        let p = std::path::Path::new(path);
+        let journal = if inv.resume {
+            CheckpointJournal::resume(p)?
+        } else {
+            CheckpointJournal::create(p)?
+        };
+        engine.set_journal(journal);
+    }
+    Ok(engine)
+}
+
+/// Pre-run snapshot of the engine's journal: path, replays already
+/// journalled, damaged bytes dropped on resume. Take it **before**
+/// exploring — afterwards the journal also holds this run's replays.
+fn journal_snapshot(engine: &ExplorationEngine) -> Option<(String, usize, usize)> {
+    engine
+        .journal()
+        .map(|j| (j.path().display().to_string(), j.entries(), j.recovered_bytes()))
+}
+
+/// The `workload:` / checkpoint header lines shared by the exploration
+/// surfaces.
+fn write_source_header(
+    out: &mut String,
+    name: &str,
+    note: &Option<String>,
+    journal: &Option<(String, usize, usize)>,
+) {
+    let _ = writeln!(out, "workload: {name}");
+    if let Some(n) = note {
+        let _ = writeln!(out, "note: {n}");
+    }
+    if let Some((path, entries, recovered)) = journal {
+        let dropped = if *recovered > 0 {
+            format!(", {recovered} damaged byte(s) dropped")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "checkpoint: {path} ({entries} replay(s) already journalled{dropped})"
+        );
+    }
+}
+
+/// `dmm record <workload> --out=FILE`: record the workload once and write
+/// its trace as a durable, checksummed file for `--trace=FILE` reuse.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] without `--out`; workload and I/O failures
+/// propagate ([`Error::TraceStore`] `TR013` for the write).
+pub fn record_text(inv: &Invocation) -> Result<String> {
+    let Some(out_path) = &inv.out else {
+        return Err(Error::InvalidConfig(
+            "record needs --out=FILE for the durable trace".into(),
+        ));
+    };
+    let w = workload(inv)?;
+    let trace = w.record()?;
+    let path = std::path::Path::new(out_path);
+    dmm_core::trace::write_trace(path, &trace)?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", w.name());
+    let _ = writeln!(
+        out,
+        "recorded {} event(s) ({} allocs) to {} ({bytes} B, checksummed frames of {} events)",
+        trace.len(),
+        trace.alloc_count(),
+        path.display(),
+        dmm_core::trace::store::FRAME_EVENTS
+    );
+    let _ = writeln!(
+        out,
+        "(replay it with --trace={}; --recover salvages the valid prefix of a damaged file)",
+        path.display()
+    );
+    Ok(out)
 }
 
 /// Usage text.
@@ -188,6 +372,8 @@ pub fn help_text() -> String {
                           non-zero exit when any finding reaches it\n\
        bounds <wl>        admissible footprint floors of every preset on a\n\
                           workload trace, next to the replayed peaks\n\
+       record <wl>        record the workload once and write its trace as a\n\
+                          durable checksummed file (--out=FILE required)\n\
        help               this text\n\
      \n\
      WORKLOADS: drr | recon | render  (test scale; add --full for paper scale)\n\
@@ -197,7 +383,14 @@ pub fn help_text() -> String {
      --shards=N splits the trace into N self-contained shards, explores\n\
      each independently and merges the designs by score-weighted vote\n\
      (phase-aligned when the trace has phases; memory is bounded by the\n\
-     largest shard instead of the whole trace)\n"
+     largest shard instead of the whole trace)\n\
+     --trace=FILE replays a durable trace (from `dmm record`) instead of\n\
+     recording the workload live; --recover salvages the valid prefix of\n\
+     a damaged file (defects are structured TR01x errors otherwise)\n\
+     --checkpoint=FILE journals every completed replay; after a crash,\n\
+     --resume skips the journalled candidates (bit-identical winner)\n\
+     --budget-steps=N / --budget-ms=N bound each candidate replay; a\n\
+     tripped budget aborts that candidate, not the sweep\n"
         .to_string()
 }
 
@@ -467,11 +660,13 @@ pub fn bounds_text(inv: &Invocation) -> Result<String> {
 ///
 /// Propagates workload failures.
 pub fn profile_text(inv: &Invocation) -> Result<String> {
-    let w = workload(inv)?;
-    let trace = w.record()?;
+    let (name, trace, note) = trace_source(inv)?;
     let p = Profile::of(&trace);
     let mut out = String::new();
-    let _ = writeln!(out, "workload: {}", w.name());
+    let _ = writeln!(out, "workload: {name}");
+    if let Some(n) = &note {
+        let _ = writeln!(out, "note: {n}");
+    }
     let _ = writeln!(
         out,
         "events: {} ({} allocs, {} frees)",
@@ -515,20 +710,22 @@ pub fn explore_text(inv: &Invocation) -> Result<String> {
     if inv.shards > 1 {
         return explore_sharded_text(inv);
     }
-    let w = workload(inv)?;
-    let trace = w.record()?;
-    let outcome = Methodology::new().with_jobs(inv.jobs).explore(&trace)?;
+    let (name, trace, note) = trace_source(inv)?;
+    let engine = engine_for(inv)?;
+    let journal = journal_snapshot(&engine);
+    let outcome = Methodology::new()
+        .with_jobs(inv.jobs)
+        .explore_with_engine(&trace, &engine)?;
     let mut out = String::new();
-    let _ = writeln!(out, "workload: {}", w.name());
+    write_source_header(&mut out, &name, &note, &journal);
     // Same counter line every exploration surface prints: the
-    // `EngineCounters` Display. Greedy exploration never prunes, so the
-    // pruned counters are zero here by construction.
+    // `EngineCounters` Display. Greedy exploration never prunes or
+    // quarantines, so the resilience counters are zero by construction.
     let counters = dmm_core::methodology::EngineCounters {
         evaluations: outcome.evaluations,
         replays: outcome.replays,
         cache_hits: outcome.cache_hits,
-        statically_pruned: 0,
-        bound_pruned: 0,
+        ..Default::default()
     };
     let _ = writeln!(out, "exploration: {counters}");
     let _ = writeln!(out, "decision log (traversal order of Section 4.2):");
@@ -576,13 +773,14 @@ pub fn explore_text(inv: &Invocation) -> Result<String> {
 ///
 /// Propagates workload/exploration failures.
 fn explore_sharded_text(inv: &Invocation) -> Result<String> {
-    let w = workload(inv)?;
-    let trace = w.record()?;
+    let (name, trace, note) = trace_source(inv)?;
+    let engine = engine_for(inv)?;
+    let journal = journal_snapshot(&engine);
     let outcome = Methodology::new()
         .with_jobs(inv.jobs)
-        .explore_sharded(&trace, inv.shards)?;
+        .explore_sharded_with_engine(&trace, inv.shards, &engine)?;
     let mut out = String::new();
-    let _ = writeln!(out, "workload: {}", w.name());
+    write_source_header(&mut out, &name, &note, &journal);
     let _ = writeln!(
         out,
         "shards: {} (requested {}; phase-aligned shards win over the flag)",
@@ -639,8 +837,8 @@ fn explore_sharded_text(inv: &Invocation) -> Result<String> {
 ///
 /// Propagates workload/exploration failures.
 pub fn compare_text(inv: &Invocation) -> Result<String> {
-    let w = workload(inv)?;
-    let trace = w.record()?;
+    let (name, trace, _note) = trace_source(inv)?;
+    let engine = engine_for(inv)?;
     let profile = Profile::of(&trace);
     let methodology = Methodology::new()
         .with_name("our DM manager")
@@ -648,11 +846,11 @@ pub fn compare_text(inv: &Invocation) -> Result<String> {
     // With --shards=N the custom design comes from sharded exploration —
     // same comparison table, scalable design path.
     let custom_config = if inv.shards > 1 {
-        let mut sharded = methodology.explore_sharded(&trace, inv.shards)?;
+        let mut sharded = methodology.explore_sharded_with_engine(&trace, inv.shards, &engine)?;
         sharded.config.name = "our DM manager (sharded)".into();
         sharded.config
     } else {
-        methodology.explore(&trace)?.config
+        methodology.explore_with_engine(&trace, &engine)?.config
     };
     let mut managers: Vec<Box<dyn Allocator>> = vec![
         Box::new(KingsleyAllocator::with_initial_region(if inv.full {
@@ -666,7 +864,7 @@ pub fn compare_text(inv: &Invocation) -> Result<String> {
         Box::new(PolicyAllocator::new(custom_config)?),
     ];
     let mut table = Table::new(
-        format!("footprint on {}", w.name()),
+        format!("footprint on {name}"),
         vec![
             "manager".into(),
             "peak footprint".into(),
@@ -778,6 +976,7 @@ pub fn run(inv: &Invocation) -> Result<String> {
         "phases" => phases_text(inv),
         "lint" => lint_text(inv),
         "bounds" => bounds_text(inv),
+        "record" => record_text(inv),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(Error::InvalidConfig(format!(
             "unknown command '{other}' — try 'dmm help'"
@@ -1031,6 +1230,145 @@ mod tests {
         let out = phases_text(&inv(&["phases", "render", "--shards=4"])).unwrap();
         assert!(out.contains("shard plan"), "{out}");
         assert!(out.contains("shard 0"), "{out}");
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dmm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// Output below the header lines (workload/note/checkpoint/counters),
+    /// which legitimately differ between live/loaded or fresh/resumed runs.
+    fn below_header(s: &str) -> String {
+        s.lines()
+            .skip_while(|l| !l.starts_with("decision log") && !l.starts_with("merge log"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn parse_robustness_flags() {
+        let i = inv(&[
+            "explore",
+            "--trace=/tmp/t.dmmt",
+            "--checkpoint=/tmp/c.journal",
+            "--resume",
+            "--recover",
+            "--budget-steps=5000",
+            "--budget-ms=250",
+        ]);
+        assert_eq!(i.trace.as_deref(), Some("/tmp/t.dmmt"));
+        assert_eq!(i.checkpoint.as_deref(), Some("/tmp/c.journal"));
+        assert!(i.resume && i.recover);
+        assert_eq!(i.budget_steps, Some(5000));
+        assert_eq!(i.budget_ms, Some(250));
+        let d = inv(&["explore", "drr"]);
+        assert!(d.trace.is_none() && d.checkpoint.is_none());
+        assert!(!d.resume && !d.recover);
+        assert_eq!(d.budget_steps, None);
+        assert_eq!(
+            inv(&["explore", "--budget-steps=oops"]).budget_steps,
+            Some(0),
+            "malformed budget trips immediately, never silently unlimited"
+        );
+        assert_eq!(inv(&["record", "drr", "--out=x.dmmt"]).out.as_deref(), Some("x.dmmt"));
+    }
+
+    #[test]
+    fn record_then_explore_from_durable_trace_matches_live() {
+        let path = tmp("roundtrip.dmmt");
+        std::fs::remove_file(&path).ok();
+        let rec = record_text(&inv(&["record", "drr", &format!("--out={}", path.display())]))
+            .unwrap();
+        assert!(rec.contains("checksummed"), "{rec}");
+        let live = explore_text(&inv(&["explore", "drr"])).unwrap();
+        let loaded =
+            explore_text(&inv(&["explore", &format!("--trace={}", path.display())])).unwrap();
+        assert_eq!(
+            below_header(&live),
+            below_header(&loaded),
+            "a durable trace must explore bit-identically to a live recording"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_requires_out() {
+        assert!(record_text(&inv(&["record", "drr"])).is_err());
+        assert!(run(&inv(&["record", "drr"])).is_err());
+    }
+
+    #[test]
+    fn damaged_trace_is_structured_error_and_recover_salvages_the_prefix() {
+        let path = tmp("damaged.dmmt");
+        std::fs::remove_file(&path).ok();
+        // Multi-frame trace: chopping the tail must leave a whole valid
+        // frame to salvage (the quick workloads fit in one frame).
+        let mut b = Trace::builder();
+        for i in 0..(dmm_core::trace::store::FRAME_EVENTS + 200) {
+            let id = b.alloc(32 + (i % 60));
+            b.free(id);
+        }
+        dmm_core::trace::write_trace(&path, &b.finish().unwrap()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let flag = format!("--trace={}", path.display());
+        let err = explore_text(&inv(&["explore", &flag])).unwrap_err();
+        assert!(err.to_string().contains("TR011"), "{err}");
+        let out = explore_text(&inv(&["explore", &flag, "--recover"])).unwrap();
+        assert!(out.contains("note: recovered valid prefix"), "{out}");
+        assert!(out.contains("final configuration"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpointed_explore_resumes_bit_identical() {
+        let path = tmp("resume.journal");
+        std::fs::remove_file(&path).ok();
+        let flag = format!("--checkpoint={}", path.display());
+        let fresh = explore_text(&inv(&["explore", "drr", &flag])).unwrap();
+        assert!(fresh.contains("checkpoint:"), "{fresh}");
+        assert!(fresh.contains("0 replay(s) already journalled"), "{fresh}");
+        // "Crash" after the completed run, then resume: every candidate is
+        // served from the journal, and the result is bit-identical.
+        let resumed = explore_text(&inv(&["explore", "drr", &flag, "--resume"])).unwrap();
+        assert!(
+            !resumed.contains("0 replay(s) already journalled"),
+            "resume must see the journalled replays:\n{resumed}"
+        );
+        assert_eq!(below_header(&fresh), below_header(&resumed));
+        assert!(
+            explore_text(&inv(&["explore", "drr", "--resume"])).is_err(),
+            "--resume without --checkpoint must fail fast"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generous_budget_leaves_exploration_unchanged() {
+        let plain = explore_text(&inv(&["explore", "drr"])).unwrap();
+        let budgeted =
+            explore_text(&inv(&["explore", "drr", "--budget-steps=100000000"])).unwrap();
+        assert_eq!(below_header(&plain), below_header(&budgeted));
+        // A zero budget trips on the very first candidate — loudly.
+        assert!(explore_text(&inv(&["explore", "drr", "--budget-steps=0"])).is_err());
+    }
+
+    #[test]
+    fn explain_covers_the_ex_codes() {
+        for code in ["EX001", "EX002", "EX003", "EX004"] {
+            let out = lint_text(&inv(&["lint", "--explain", code])).unwrap();
+            assert!(out.starts_with(code), "{out}");
+        }
+    }
+
+    #[test]
+    fn help_mentions_the_robustness_surface() {
+        let h = help_text();
+        for needle in ["record", "--trace=", "--checkpoint=", "--resume", "--budget-steps="] {
+            assert!(h.contains(needle), "help missing {needle}");
+        }
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Every finding the static analyses can produce has a **stable code**:
 //! `DM0xx` for configuration lints, `TR0xx` for trace lints, `BD0xx` for
-//! footprint-bound advisories. Codes are
+//! footprint-bound advisories, `EX0xx` for exploration-resilience
+//! telemetry. Codes are
 //! append-only — a code is never renumbered or reused — so scripts, CI
 //! gates and test assertions can match on them instead of on prose.
 
@@ -43,7 +44,8 @@ impl fmt::Display for Severity {
 /// trace events it points at, prose, and a machine-readable fix hint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
-    /// Stable code (`DM0xx` config, `TR0xx` trace, `BD0xx` bounds).
+    /// Stable code (`DM0xx` config, `TR0xx` trace, `BD0xx` bounds,
+    /// `EX0xx` exploration resilience).
     pub code: String,
     /// How serious the finding is.
     pub severity: Severity,
@@ -144,6 +146,7 @@ pub fn catalogue() -> Vec<CatalogEntry> {
     let mut all = super::config_lints::config_catalogue();
     all.extend_from_slice(super::trace_lints::TRACE_CATALOGUE);
     all.extend_from_slice(super::bounds::BOUNDS_CATALOGUE);
+    all.extend_from_slice(super::exploration::EXPLORATION_CATALOGUE);
     all.sort_by(|a, b| a.code.cmp(b.code));
     all
 }
@@ -175,7 +178,8 @@ mod tests {
                 e.code.len() == 5
                     && (e.code.starts_with("DM")
                         || e.code.starts_with("TR")
-                        || e.code.starts_with("BD")),
+                        || e.code.starts_with("BD")
+                        || e.code.starts_with("EX")),
                 "malformed code {}",
                 e.code
             );

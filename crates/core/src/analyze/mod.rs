@@ -5,8 +5,8 @@
 //! replaying a candidate or crashing mid-replay on a malformed trace —
 //! this module surfaces up front as [`Diagnostic`]s with **stable codes**
 //! (`DM0xx` for configurations, `TR0xx` for traces, `BD0xx` for footprint
-//! bounds), a severity, the trees or events pointed at, prose and a
-//! machine-readable fix hint.
+//! bounds, `EX0xx` for exploration-resilience telemetry), a severity, the
+//! trees or events pointed at, prose and a machine-readable fix hint.
 //!
 //! Four consumers:
 //!
@@ -26,6 +26,7 @@
 pub mod bounds;
 pub mod config_lints;
 pub mod diag;
+pub mod exploration;
 pub mod trace_lints;
 
 pub use bounds::{
@@ -34,4 +35,5 @@ pub use bounds::{
 };
 pub use config_lints::{lint_config, lint_dominance, prune_reason, soft_arrow_code};
 pub use diag::{catalogue, explain, CatalogEntry, Diagnostic, Severity};
+pub use exploration::{lint_exploration, ResilienceReport, EXPLORATION_CATALOGUE};
 pub use trace_lints::{first_error, lint_events, lint_trace};

@@ -96,6 +96,51 @@ pub(crate) const TRACE_CATALOGUE: &[CatalogEntry] = &[
                   live set by the reported carried bytes (boundary live-set \
                   explosion).",
     },
+    CatalogEntry {
+        code: "TR010",
+        severity: Severity::Error,
+        prune_safe: false,
+        summary: "durable trace file has a bad header",
+        fix: "check the file is a dmm trace (magic \"DMMT\") written by a compatible version",
+        details: "The durable trace format opens with a fixed 8-byte \
+                  header: magic \"DMMT\", a little-endian u16 version, and \
+                  a reserved u16. A missing magic, short file or \
+                  unsupported version means nothing after the header can \
+                  be trusted, so even the recovery reader salvages nothing.",
+    },
+    CatalogEntry {
+        code: "TR011",
+        severity: Severity::Error,
+        prune_safe: false,
+        summary: "durable trace file ends in a truncated or malformed frame",
+        fix: "re-record the trace, or use recover_trace to salvage the valid prefix",
+        details: "Each frame declares its payload length up front; a frame \
+                  whose declared bytes run past end-of-file is the \
+                  signature of a torn write or killed recorder. \
+                  trace::store::recover_trace returns every intact frame \
+                  before the tear together with this error.",
+    },
+    CatalogEntry {
+        code: "TR012",
+        severity: Severity::Error,
+        prune_safe: false,
+        summary: "durable trace frame failed its CRC32 checksum",
+        fix: "re-record or re-transfer the file, or salvage the prefix with recover_trace",
+        details: "Every frame carries an IEEE CRC32 of its payload. A \
+                  stored/computed mismatch means bit rot or in-transit \
+                  corruption inside that frame; frames before it are \
+                  intact and recoverable.",
+    },
+    CatalogEntry {
+        code: "TR013",
+        severity: Severity::Error,
+        prune_safe: false,
+        summary: "durable trace file could not be read or written",
+        fix: "check the path, permissions and free space",
+        details: "The I/O layer failed before the format was even \
+                  inspected — missing file, permission denied, disk full. \
+                  The message carries the operating system's explanation.",
+    },
 ];
 
 fn trace_entry(code: &str) -> &'static CatalogEntry {

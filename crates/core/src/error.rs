@@ -30,6 +30,55 @@ pub enum Error {
     MalformedTrace(String),
     /// The methodology was asked to explore an empty candidate set.
     EmptySearchSpace(String),
+    /// A replay exceeded its per-candidate step budget (fault-tolerant
+    /// exploration aborts the candidate instead of letting a pathological
+    /// configuration hang a worker).
+    BudgetExceeded {
+        /// Search steps spent when the budget tripped.
+        spent: u64,
+        /// The configured step budget.
+        limit: u64,
+    },
+    /// A candidate's replay panicked and was caught at the engine's
+    /// quarantine boundary (`EX001`). Carries the candidate's structural
+    /// fingerprint so the offender is identifiable across resumes.
+    CandidatePanicked {
+        /// [`DmConfig::fingerprint`](crate::space::config::DmConfig::fingerprint)
+        /// of the panicking candidate.
+        fingerprint: u64,
+        /// The panic payload, best-effort stringified.
+        reason: String,
+    },
+    /// A shard worker's exploration panicked (worker death, `EX003` when
+    /// retried). Wrapped in [`Error::ShardFailed`] once retries are
+    /// exhausted.
+    WorkerDied {
+        /// The panic payload, best-effort stringified.
+        reason: String,
+    },
+    /// A shard's exploration failed permanently — every bounded retry was
+    /// exhausted (`EX004`). Sharded exploration surfaces this instead of
+    /// silently merging a partial result as if it were complete.
+    ShardFailed {
+        /// Index of the failing shard in trace order.
+        shard: usize,
+        /// Attempts made (initial try plus retries).
+        attempts: usize,
+        /// The last attempt's failure.
+        cause: Box<Error>,
+    },
+    /// A durable trace file is malformed. `code` is the stable `TR0xx`
+    /// diagnostic (`TR010` bad header, `TR011` truncated frame, `TR012`
+    /// checksum mismatch); recovery readers can still salvage the valid
+    /// prefix (see `trace::store::recover_trace`).
+    TraceStore {
+        /// Stable diagnostic code (`TR010`/`TR011`/`TR012`).
+        code: String,
+        /// Human-readable description of the corruption.
+        message: String,
+    },
+    /// The checkpoint journal could not be opened, read or appended.
+    Checkpoint(String),
 }
 
 impl fmt::Display for Error {
@@ -46,6 +95,30 @@ impl fmt::Display for Error {
             Error::UnknownTraceId(id) => write!(f, "trace references unknown allocation id {id}"),
             Error::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
             Error::EmptySearchSpace(msg) => write!(f, "empty search space: {msg}"),
+            Error::BudgetExceeded { spent, limit } => write!(
+                f,
+                "candidate budget exceeded: {spent} search steps spent against a budget of {limit}"
+            ),
+            Error::CandidatePanicked {
+                fingerprint,
+                reason,
+            } => write!(
+                f,
+                "candidate {fingerprint:016x} panicked during replay: {reason}"
+            ),
+            Error::WorkerDied { reason } => write!(f, "shard worker died: {reason}"),
+            Error::ShardFailed {
+                shard,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "shard {shard} failed permanently after {attempts} attempt(s): {cause}"
+            ),
+            Error::TraceStore { code, message } => {
+                write!(f, "trace store: {code}: {message}")
+            }
+            Error::Checkpoint(msg) => write!(f, "checkpoint journal: {msg}"),
         }
     }
 }
@@ -68,6 +141,27 @@ mod tests {
             Error::UnknownTraceId(7),
             Error::MalformedTrace("dup".into()),
             Error::EmptySearchSpace("no leaves".into()),
+            Error::BudgetExceeded {
+                spent: 1000,
+                limit: 500,
+            },
+            Error::CandidatePanicked {
+                fingerprint: 0xDEAD,
+                reason: "boom".into(),
+            },
+            Error::WorkerDied {
+                reason: "boom".into(),
+            },
+            Error::ShardFailed {
+                shard: 2,
+                attempts: 3,
+                cause: Box::new(Error::InvalidConfig("bad".into())),
+            },
+            Error::TraceStore {
+                code: "TR011".into(),
+                message: "truncated frame".into(),
+            },
+            Error::Checkpoint("cannot open".into()),
         ];
         for e in errors {
             let s = e.to_string();

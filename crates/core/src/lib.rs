@@ -58,6 +58,7 @@
 pub mod analyze;
 pub mod dynvec;
 pub mod error;
+pub mod fault;
 pub mod galloc;
 pub mod heap;
 pub mod manager;

@@ -71,6 +71,17 @@ impl TraceKey {
             events: trace.len(),
         }
     }
+
+    /// The 64-bit content hash half of the key — what the checkpoint
+    /// journal persists to recognise the trace across processes.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The event-count half of the key.
+    pub fn events(&self) -> usize {
+        self.events
+    }
 }
 
 /// A thread-safe memo table from `(trace, configuration)` to the replay's
@@ -123,7 +134,7 @@ impl ReplayCache {
     pub fn get_keyed(&self, trace: TraceKey, cfg: &DmConfig) -> Option<FootprintStats> {
         self.map
             .lock()
-            .expect("replay cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(&(trace, ConfigKey::of(cfg)))
             .cloned()
     }
@@ -137,13 +148,13 @@ impl ReplayCache {
     pub fn insert_keyed(&self, trace: TraceKey, cfg: &DmConfig, stats: FootprintStats) {
         self.map
             .lock()
-            .expect("replay cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .insert((trace, ConfigKey::of(cfg)), stats);
     }
 
     /// Number of memoised replays.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("replay cache poisoned").len()
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// Whether the cache holds no entries.

@@ -15,15 +15,21 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::error::Result;
+use crate::error::{Error, Result};
+use crate::fault::FaultPlan;
 use crate::manager::PolicyAllocator;
 use crate::methodology::cache::{ReplayCache, TraceKey};
+use crate::methodology::checkpoint::CheckpointJournal;
 use crate::metrics::FootprintStats;
 use crate::space::config::DmConfig;
-use crate::trace::{replay_compiled_with, CompiledTrace, ReplayScratch, Trace};
+use crate::trace::{
+    replay_compiled_budgeted, replay_compiled_with, CompiledTrace, ReplayBudget, ReplayScratch,
+    Trace,
+};
 
 thread_local! {
     /// Per-worker slot table for compiled replay. Workers are the engine's
@@ -52,18 +58,29 @@ pub struct EngineCounters {
     /// incumbent's replayed peak, so neither a replay nor a cache lookup
     /// was scheduled. Not counted in `evaluations`.
     pub bound_pruned: usize,
+    /// Candidates whose replay panicked and was quarantined (`EX001`) by a
+    /// sweep running in quarantine mode — the sweep skipped them and kept
+    /// going. Not counted in `evaluations`.
+    pub quarantined: usize,
+    /// Candidates whose replay exceeded its per-candidate budget (`EX002`)
+    /// in quarantine mode — aborted and skipped instead of hanging a
+    /// worker. Not counted in `evaluations`.
+    pub budget_exceeded: usize,
 }
 
 impl std::fmt::Display for EngineCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} evaluations ({} replays, {} cache hits, {} statically pruned, {} bound pruned)",
+            "{} evaluations ({} replays, {} cache hits, {} statically pruned, {} bound pruned, \
+             {} quarantined, {} over budget)",
             self.evaluations,
             self.replays,
             self.cache_hits,
             self.statically_pruned,
-            self.bound_pruned
+            self.bound_pruned,
+            self.quarantined,
+            self.budget_exceeded
         )
     }
 }
@@ -88,6 +105,34 @@ pub struct Evaluation {
     pub cache_hit: bool,
 }
 
+/// Per-candidate replay budget specification, materialized into a
+/// [`ReplayBudget`] (whose deadline starts ticking) at each replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Cap on charged search steps per candidate replay (deterministic).
+    pub max_steps: Option<u64>,
+    /// Wall-clock cap in milliseconds per candidate replay.
+    pub max_millis: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// Whether any axis is bounded.
+    pub fn is_bounded(&self) -> bool {
+        self.max_steps.is_some() || self.max_millis.is_some()
+    }
+
+    fn materialize(&self) -> ReplayBudget {
+        let mut b = match self.max_steps {
+            Some(s) => ReplayBudget::steps(s),
+            None => ReplayBudget::unlimited(),
+        };
+        if let Some(ms) = self.max_millis {
+            b = b.with_deadline_ms(ms);
+        }
+        b
+    }
+}
+
 /// Memoised, parallel evaluator shared by every exploration entry point.
 #[derive(Debug)]
 pub struct ExplorationEngine {
@@ -103,10 +148,22 @@ pub struct ExplorationEngine {
     cache_hits: AtomicUsize,
     statically_pruned: AtomicUsize,
     bound_pruned: AtomicUsize,
+    quarantined: AtomicUsize,
+    budget_exceeded: AtomicUsize,
     /// Worker threads currently spawned by [`ExplorationEngine::run_parallel`]
     /// across all nesting levels — the shared budget that keeps
     /// phases × hypotheses × candidates from multiplying thread counts.
     spawned: AtomicUsize,
+    /// Quarantine mode: sweep entry points skip (instead of propagate)
+    /// candidates that panic or run out of budget.
+    quarantine: bool,
+    /// Per-candidate replay budget, enforced inside the compiled kernel.
+    budget: BudgetSpec,
+    /// Injected faults (tests only; `None` in production).
+    fault_plan: Option<FaultPlan>,
+    /// Attached checkpoint journal: fresh replays are journalled, journal
+    /// hits short-circuit replays exactly like cache hits.
+    journal: Option<CheckpointJournal>,
 }
 
 impl Default for ExplorationEngine {
@@ -136,8 +193,93 @@ impl ExplorationEngine {
             cache_hits: AtomicUsize::new(0),
             statically_pruned: AtomicUsize::new(0),
             bound_pruned: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            budget_exceeded: AtomicUsize::new(0),
             spawned: AtomicUsize::new(0),
+            quarantine: false,
+            budget: BudgetSpec::default(),
+            fault_plan: None,
+            journal: None,
         }
+    }
+
+    /// Enable/disable quarantine mode: with it on, the sweep entry points
+    /// ([`ExplorationEngine::evaluate_pruned`],
+    /// [`ExplorationEngine::evaluate_bounded`]) *skip* candidates that
+    /// panic ([`EngineCounters::quarantined`], `EX001`) or exceed their
+    /// replay budget ([`EngineCounters::budget_exceeded`], `EX002`)
+    /// instead of failing the whole sweep. All other errors still
+    /// propagate, and the strict entry points
+    /// ([`ExplorationEngine::evaluate_all`] and friends) always propagate
+    /// everything — a greedy traversal needs every score it asks for.
+    pub fn set_quarantine(&mut self, on: bool) {
+        self.quarantine = on;
+    }
+
+    /// Builder form of [`ExplorationEngine::set_quarantine`].
+    #[must_use]
+    pub fn with_quarantine(mut self, on: bool) -> Self {
+        self.quarantine = on;
+        self
+    }
+
+    /// Whether quarantine mode is on.
+    pub fn quarantine(&self) -> bool {
+        self.quarantine
+    }
+
+    /// Set the per-candidate replay budget (applies to every subsequent
+    /// fresh replay; cache and journal hits are free and never budgeted).
+    pub fn set_budget(&mut self, budget: BudgetSpec) {
+        self.budget = budget;
+    }
+
+    /// Builder form of [`ExplorationEngine::set_budget`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Install a deterministic fault plan (tests only): panics and budget
+    /// exhaustion injected per candidate fingerprint, shard deaths per
+    /// shard index.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Builder form of [`ExplorationEngine::set_fault_plan`].
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The installed fault plan, if any (consulted by the sharded
+    /// explorer's retry loop).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Attach a checkpoint journal: every fresh replay is journalled
+    /// (append + flush), and candidates the journal already scored are
+    /// served from it like cache hits — so a killed sweep, resumed with
+    /// the same journal, skips all completed work and still produces a
+    /// bit-identical winner.
+    pub fn set_journal(&mut self, journal: CheckpointJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// Builder form of [`ExplorationEngine::set_journal`].
+    #[must_use]
+    pub fn with_journal(mut self, journal: CheckpointJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached checkpoint journal, if any.
+    pub fn journal(&self) -> Option<&CheckpointJournal> {
+        self.journal.as_ref()
     }
 
     /// A strictly serial engine.
@@ -158,6 +300,8 @@ impl ExplorationEngine {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             statically_pruned: self.statically_pruned.load(Ordering::Relaxed),
             bound_pruned: self.bound_pruned.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -263,7 +407,7 @@ impl ExplorationEngine {
             self.statically_pruned.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
-        self.evaluate_one(trace, key, cfg).map(Some)
+        self.quarantine_or_raise(self.evaluate_one(trace, key, cfg))
     }
 
     /// Branch-and-bound evaluation: [`ExplorationEngine::evaluate_pruned`]
@@ -305,12 +449,38 @@ impl ExplorationEngine {
                 return Ok(None);
             }
         }
-        self.evaluate_one(trace, key, cfg).map(Some)
+        self.quarantine_or_raise(self.evaluate_one(trace, key, cfg))
     }
 
+    /// The sweep entry points' failure policy. In quarantine mode a
+    /// panicking (`EX001`) or over-budget (`EX002`) candidate becomes a
+    /// counted skip — `Ok(None)` — keeping the partition invariant
+    /// `evaluations + statically_pruned + bound_pruned + quarantined +
+    /// budget_exceeded == enumerated`. Everything else (and everything,
+    /// with quarantine off) propagates.
+    fn quarantine_or_raise(&self, result: Result<Evaluation>) -> Result<Option<Evaluation>> {
+        match result {
+            Ok(e) => Ok(Some(e)),
+            Err(e) if !self.quarantine => Err(e),
+            Err(Error::CandidatePanicked { .. }) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+            Err(Error::BudgetExceeded { .. }) => {
+                self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Evaluate one candidate: cache → journal → fresh replay. Counters
+    /// are bumped only on success, so failed candidates can be
+    /// re-attributed (quarantined, over budget) by the caller without
+    /// breaking the partition invariant.
     fn evaluate_one(&self, trace: &Trace, key: TraceKey, cfg: &DmConfig) -> Result<Evaluation> {
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
         if let Some(mut stats) = self.cache.get_keyed(key, cfg) {
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             // The cache key ignores names; restore this candidate's label
             // so hit and miss paths are indistinguishable to the caller.
@@ -324,12 +494,62 @@ impl ExplorationEngine {
                 cache_hit: true,
             });
         }
+        let fingerprint = cfg.fingerprint();
+        if let Some(journal) = &self.journal {
+            if let Some(mut stats) = journal.lookup(key.fingerprint(), key.events(), fingerprint) {
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if stats.manager.as_ref() != cfg.name {
+                    stats.manager = Arc::from(cfg.name.as_str());
+                }
+                self.cache.insert_keyed(key, cfg, stats.clone());
+                return Ok(Evaluation {
+                    stats,
+                    cache_hit: true,
+                });
+            }
+        }
         let compiled = self.compiled_for(key, trace);
-        let mut mgr = PolicyAllocator::new(cfg.clone())?;
-        let stats = REPLAY_SCRATCH
-            .with(|s| replay_compiled_with(&compiled, &mut mgr, &mut s.borrow_mut()))?;
+        let budget = match &self.fault_plan {
+            Some(plan) if plan.should_exhaust(fingerprint) => Some(ReplayBudget::steps(0)),
+            _ => self.budget.is_bounded().then(|| self.budget.materialize()),
+        };
+        let inject_panic = self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.should_panic(fingerprint));
+        // The quarantine boundary: a panicking replay (the worker owns its
+        // scratch, the manager is ours alone, the caches are only touched
+        // on success) unwinds to here and becomes a typed error.
+        let replayed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: candidate {fingerprint:016x}");
+            }
+            let mut mgr = PolicyAllocator::new(cfg.clone())?;
+            REPLAY_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                match &budget {
+                    Some(b) => replay_compiled_budgeted(&compiled, &mut mgr, &mut scratch, b),
+                    None => replay_compiled_with(&compiled, &mut mgr, &mut scratch),
+                }
+            })
+        }));
+        let stats = match replayed {
+            Ok(Ok(stats)) => stats,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                return Err(Error::CandidatePanicked {
+                    fingerprint,
+                    reason: panic_reason(payload.as_ref()),
+                })
+            }
+        };
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         self.replays.fetch_add(1, Ordering::Relaxed);
         self.cache.insert_keyed(key, cfg, stats.clone());
+        if let Some(journal) = &self.journal {
+            journal.record(key.fingerprint(), key.events(), fingerprint, &stats)?;
+        }
         Ok(Evaluation {
             stats,
             cache_hit: false,
@@ -342,7 +562,7 @@ impl ExplorationEngine {
         if let Some(hit) = self
             .compiled
             .lock()
-            .expect("compiled-trace table poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(&key)
         {
             return Arc::clone(hit);
@@ -352,13 +572,13 @@ impl ExplorationEngine {
         // their O(n) compiles behind one mutex. A racing duplicate compile
         // of the same trace is rare and harmless — the first insert wins.
         let fresh = Arc::new(CompiledTrace::compile(trace));
-        let mut table = self.compiled.lock().expect("compiled-trace table poisoned");
+        let mut table = self.compiled.lock().unwrap_or_else(|p| p.into_inner());
         Arc::clone(table.entry(key).or_insert(fresh))
     }
 
     /// Number of distinct traces this engine has compiled (diagnostic).
     pub fn compiled_traces(&self) -> usize {
-        self.compiled.lock().expect("compiled-trace table poisoned").len()
+        self.compiled.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// Forget the compiled form of `trace`. The compiled copy is O(trace)
@@ -377,7 +597,7 @@ impl ExplorationEngine {
     pub fn release_compiled_keyed(&self, key: TraceKey) {
         self.compiled
             .lock()
-            .expect("compiled-trace table poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .remove(&key);
     }
 
@@ -412,7 +632,7 @@ impl ExplorationEngine {
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(item) = items.get(i) else { break };
             let r = f(item);
-            *slots[i].lock().expect("result slot poisoned") = Some(r);
+            *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
         };
         self.spawned.fetch_add(extra, Ordering::Relaxed);
         std::thread::scope(|scope| {
@@ -426,10 +646,21 @@ impl ExplorationEngine {
             .into_iter()
             .map(|s| {
                 s.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(|p| p.into_inner())
                     .expect("every slot filled by a worker")
             })
             .collect()
+    }
+}
+
+/// Best-effort stringification of a caught panic payload.
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -606,6 +837,118 @@ mod tests {
         let c = engine.counters();
         assert_eq!(c.bound_pruned, 2);
         assert_eq!(c.evaluations, 2, "incumbent + earlier tie");
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_in_sweeps_and_strict_in_greedy() {
+        let t = trace();
+        let key = TraceKey::of(&t);
+        let victim = presets::kingsley_like();
+        let plan = FaultPlan::new().panic_candidate(victim.fingerprint());
+
+        // Quarantine on: the sweep skips the offender and keeps going.
+        let engine = ExplorationEngine::serial()
+            .with_quarantine(true)
+            .with_fault_plan(FaultPlan::new().panic_candidate(victim.fingerprint()));
+        assert!(engine.evaluate_pruned(&t, key, &victim).unwrap().is_none());
+        assert!(engine
+            .evaluate_pruned(&t, key, &presets::drr_paper())
+            .unwrap()
+            .is_some());
+        let c = engine.counters();
+        assert_eq!(c.quarantined, 1);
+        assert_eq!(c.evaluations, 1, "the quarantined candidate is not an evaluation");
+        assert_eq!(engine.cache().len(), 1, "no poisoned score enters the cache");
+
+        // Quarantine off (the default): the panic surfaces as a typed error.
+        let strict = ExplorationEngine::serial().with_fault_plan(plan);
+        let err = strict.evaluate_pruned(&t, key, &victim).unwrap_err();
+        assert!(
+            matches!(err, Error::CandidatePanicked { fingerprint, .. }
+                if fingerprint == victim.fingerprint()),
+            "{err}"
+        );
+        // Greedy entry points are always strict, even with quarantine on.
+        let greedy = ExplorationEngine::serial()
+            .with_quarantine(true)
+            .with_fault_plan(FaultPlan::new().panic_candidate(victim.fingerprint()));
+        assert!(greedy.evaluate_all(&t, &[victim]).is_err());
+    }
+
+    #[test]
+    fn injected_budget_exhaustion_is_counted_and_skipped() {
+        let t = trace();
+        let key = TraceKey::of(&t);
+        let victim = presets::lea_like();
+        let engine = ExplorationEngine::serial()
+            .with_quarantine(true)
+            .with_fault_plan(FaultPlan::new().exhaust_candidate(victim.fingerprint()));
+        assert!(engine
+            .evaluate_bounded(&t, key, &victim, 0, 0, None)
+            .unwrap()
+            .is_none());
+        let ok = engine
+            .evaluate_bounded(&t, key, &presets::drr_paper(), 0, 1, None)
+            .unwrap();
+        assert!(ok.is_some());
+        let c = engine.counters();
+        assert_eq!(c.budget_exceeded, 1);
+        assert_eq!(c.evaluations, 1);
+        assert_eq!(c.replays, 1);
+    }
+
+    #[test]
+    fn engine_budget_spec_applies_to_fresh_replays() {
+        let t = trace();
+        let key = TraceKey::of(&t);
+        let strict = ExplorationEngine::serial().with_budget(BudgetSpec {
+            max_steps: Some(1),
+            max_millis: None,
+        });
+        let err = strict
+            .evaluate_config_keyed(&t, key, &presets::drr_paper())
+            .unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { limit: 1, .. }), "{err}");
+        // A generous budget changes nothing.
+        let roomy = ExplorationEngine::serial().with_budget(BudgetSpec {
+            max_steps: Some(u64::MAX),
+            max_millis: None,
+        });
+        let budgeted = roomy
+            .evaluate_config_keyed(&t, key, &presets::drr_paper())
+            .unwrap();
+        let plain = ExplorationEngine::serial()
+            .evaluate_config_keyed(&t, key, &presets::drr_paper())
+            .unwrap();
+        assert_eq!(budgeted.stats, plain.stats);
+    }
+
+    #[test]
+    fn journalled_scores_survive_into_a_new_engine() {
+        let dir = std::env::temp_dir().join("dmm-engine-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.journal");
+        std::fs::remove_file(&path).ok();
+        let t = trace();
+        let cfgs = presets::all();
+
+        let first = ExplorationEngine::serial()
+            .with_journal(CheckpointJournal::create(&path).unwrap());
+        let original = first.evaluate_all(&t, &cfgs).unwrap();
+        assert_eq!(first.counters().replays, cfgs.len());
+
+        // A brand-new engine (fresh cache, fresh process in spirit) resumes
+        // from the journal: same stats, zero replays.
+        let second = ExplorationEngine::serial()
+            .with_journal(CheckpointJournal::resume(&path).unwrap());
+        let resumed = second.evaluate_all(&t, &cfgs).unwrap();
+        let c = second.counters();
+        assert_eq!(c.replays, 0, "every score must come from the journal");
+        assert_eq!(c.cache_hits, cfgs.len());
+        for (a, b) in original.iter().zip(&resumed) {
+            assert_eq!(a.stats, b.stats);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -24,9 +24,11 @@
 //! to a serial run.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod engine;
 
-pub use engine::{EngineCounters, Evaluation, ExplorationEngine, Incumbent};
+pub use checkpoint::CheckpointJournal;
+pub use engine::{BudgetSpec, EngineCounters, Evaluation, ExplorationEngine, Incumbent};
 
 use serde::{Deserialize, Serialize};
 
@@ -157,6 +159,44 @@ pub struct MergeDecision {
     pub unanimous: bool,
 }
 
+/// Attempts per shard before its failure is permanent: the initial try
+/// plus two retries. Retries target *transient* failures (a worker death,
+/// a panicking replay outside quarantine); deterministic config errors
+/// fail on every attempt and simply exhaust the budget quickly.
+pub const SHARD_RETRY_ATTEMPTS: usize = 3;
+
+/// What sharded exploration does when a shard fails permanently (every
+/// retry exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardFailurePolicy {
+    /// Surface [`Error::ShardFailed`] — never merge a partial result as if
+    /// it were complete (the default).
+    #[default]
+    Fail,
+    /// Drop the failed shards from the merge and composition, reporting
+    /// them in [`ShardedOutcome::failed_shards`] with the remaining weight
+    /// fraction in [`ShardedOutcome::confidence`]. Fails anyway if *no*
+    /// shard completes.
+    Degrade,
+}
+
+/// A shard that failed permanently inside a degraded sharded run.
+#[derive(Debug, Clone)]
+pub struct FailedShard {
+    /// Shard position in the original trace.
+    pub index: usize,
+    /// Phase covered, when sharding was phase-aligned.
+    pub phase: Option<u32>,
+    /// The weight its vote would have carried.
+    pub weight: f64,
+    /// Events in the shard.
+    pub events: usize,
+    /// Attempts made (initial try plus retries).
+    pub attempts: usize,
+    /// The last attempt's failure.
+    pub error: Error,
+}
+
 /// One shard's exploration inside a sharded run.
 #[derive(Debug, Clone)]
 pub struct ShardOutcome {
@@ -200,6 +240,18 @@ pub struct ShardedOutcome {
     /// Worst live-set carry across any shard boundary (0 = every shard
     /// was lifetime-closed and no footprint signal crossed a cut).
     pub max_carried_bytes: usize,
+    /// Shards dropped by [`ShardFailurePolicy::Degrade`] after exhausting
+    /// their retries (empty under [`ShardFailurePolicy::Fail`], which
+    /// errors instead).
+    pub failed_shards: Vec<FailedShard>,
+    /// Completed fraction of the total shard vote weight: `1.0` for a
+    /// clean run, below it when shards were dropped — the explicit
+    /// "how much of the trace actually voted" signal a degraded merge
+    /// must carry.
+    pub confidence: f64,
+    /// Retry attempts consumed across all shards beyond each shard's
+    /// first try (`EX003` telemetry).
+    pub shard_retries: usize,
 }
 
 impl ShardedOutcome {
@@ -209,8 +261,7 @@ impl ShardedOutcome {
             evaluations: self.evaluations,
             replays: self.replays,
             cache_hits: self.cache_hits,
-            statically_pruned: 0,
-            bound_pruned: 0,
+            ..EngineCounters::default()
         }
     }
 }
@@ -245,10 +296,14 @@ impl Objective {
 
     /// The total order every selection in the methodology uses: objective
     /// score first, fewer search steps as the tie-break.
+    ///
+    /// A non-finite score (a user-supplied `step_weight` of NaN or ±∞ can
+    /// produce one) must not panic mid-sweep: incomparable scores rank as
+    /// equal and fall through to the deterministic step tie-break.
     fn cmp_raw(self, a: (usize, u64), b: (usize, u64)) -> std::cmp::Ordering {
         self.score_raw(a.0, a.1)
             .partial_cmp(&self.score_raw(b.0, b.1))
-            .expect("scores are finite")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.1.cmp(&b.1))
     }
 }
@@ -263,6 +318,7 @@ pub struct Methodology {
     name: String,
     portfolio: bool,
     jobs: usize,
+    shard_failure: ShardFailurePolicy,
 }
 
 impl Default for Methodology {
@@ -283,7 +339,16 @@ impl Methodology {
             name: "custom (methodology)".into(),
             portfolio: true,
             jobs: 1,
+            shard_failure: ShardFailurePolicy::default(),
         }
+    }
+
+    /// What sharded exploration does when a shard fails permanently
+    /// (default [`ShardFailurePolicy::Fail`]: a structured
+    /// [`Error::ShardFailed`], never a silent partial merge).
+    pub fn with_shard_failure_policy(mut self, policy: ShardFailurePolicy) -> Self {
+        self.shard_failure = policy;
+        self
     }
 
     /// Number of worker threads candidate evaluation may fan out over
@@ -669,21 +734,103 @@ impl Methodology {
         if parts.is_empty() {
             return Err(Error::EmptySearchSpace("cannot explore an empty trace".into()));
         }
-        let results = engine.run_parallel(&parts, |s| {
-            self.shard_methodology(s).explore_with_engine(&s.trace, engine)
-        });
+        let results = engine.run_parallel(&parts, |s| self.explore_shard_attempts(s, engine));
         let mut per_shard = Vec::with_capacity(parts.len());
-        for (s, r) in parts.iter().zip(results) {
-            per_shard.push(ShardOutcome {
-                index: s.index,
-                phase: s.phase,
-                weight: s.weight(),
-                events: s.trace.len(),
-                outcome: r?,
-            });
+        let mut failed_shards = Vec::new();
+        let mut shard_retries = 0usize;
+        for (s, (r, attempts)) in parts.iter().zip(results) {
+            shard_retries += attempts - 1;
+            match r {
+                Ok(outcome) => per_shard.push(ShardOutcome {
+                    index: s.index,
+                    phase: s.phase,
+                    weight: s.weight(),
+                    events: s.trace.len(),
+                    outcome,
+                }),
+                Err(e) => match self.shard_failure {
+                    ShardFailurePolicy::Fail => return Err(e),
+                    ShardFailurePolicy::Degrade => failed_shards.push(FailedShard {
+                        index: s.index,
+                        phase: s.phase,
+                        weight: s.weight(),
+                        events: s.trace.len(),
+                        attempts,
+                        error: e,
+                    }),
+                },
+            }
         }
         let (config, merges) = self.merge_shard_designs(&per_shard)?;
-        self.compose_sharded(per_shard, merges, config, parts, engine)
+        let completed: std::collections::BTreeSet<usize> =
+            per_shard.iter().map(|s| s.index).collect();
+        self.compose_sharded(
+            per_shard,
+            merges,
+            config,
+            parts.into_iter().filter(|s| completed.contains(&s.index)),
+            engine,
+            failed_shards,
+            shard_retries,
+        )
+    }
+
+    /// Explore one shard with bounded retry: a caught worker panic (real,
+    /// or injected by the engine's [`FaultPlan`](crate::fault::FaultPlan))
+    /// is transient and retried with a small deterministic backoff, up to
+    /// [`SHARD_RETRY_ATTEMPTS`] total tries; a deterministic [`Error`]
+    /// from exploration is permanent immediately — retrying replays the
+    /// same failure. Returns the result plus the attempts consumed.
+    fn explore_shard_attempts(
+        &self,
+        s: &TraceShard,
+        engine: &ExplorationEngine,
+    ) -> (Result<ExplorationOutcome>, usize) {
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            let inject = engine
+                .fault_plan()
+                .is_some_and(|p| p.take_shard_fault(s.index));
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected fault: worker death on shard {}", s.index);
+                }
+                self.shard_methodology(s).explore_with_engine(&s.trace, engine)
+            }));
+            match run {
+                Ok(Ok(outcome)) => return (Ok(outcome), attempts),
+                Ok(Err(e)) => {
+                    return (
+                        Err(Error::ShardFailed {
+                            shard: s.index,
+                            attempts,
+                            cause: Box::new(e),
+                        }),
+                        attempts,
+                    )
+                }
+                Err(payload) => {
+                    let died = Error::WorkerDied {
+                        reason: engine::panic_reason(payload.as_ref()),
+                    };
+                    if attempts >= SHARD_RETRY_ATTEMPTS {
+                        return (
+                            Err(Error::ShardFailed {
+                                shard: s.index,
+                                attempts,
+                                cause: Box::new(died),
+                            }),
+                            attempts,
+                        );
+                    }
+                    // Linear backoff, milliseconds: long enough to let a
+                    // transient (contention, injected chaos) clear, short
+                    // enough to be invisible in a sweep.
+                    std::thread::sleep(std::time::Duration::from_millis(attempts as u64));
+                }
+            }
+        }
     }
 
     /// Streaming sharded exploration: shards are drawn from `source` one
@@ -711,28 +858,54 @@ impl Methodology {
         I: IntoIterator<Item = TraceShard>,
     {
         let mut per_shard = Vec::new();
+        let mut failed_shards = Vec::new();
+        let mut shard_retries = 0usize;
+        let mut saw_shard = false;
         for shard in source() {
-            let outcome = self
-                .shard_methodology(&shard)
-                .explore_with_engine(&shard.trace, engine)?;
+            saw_shard = true;
+            let (r, attempts) = self.explore_shard_attempts(&shard, engine);
+            shard_retries += attempts - 1;
             // The engine compiled this shard for its replays; release the
             // O(shard) compiled copy along with the shard itself, or the
             // engine's table would quietly accumulate the whole trace.
             engine.release_compiled(&shard.trace);
-            per_shard.push(ShardOutcome {
-                index: shard.index,
-                phase: shard.phase,
-                weight: shard.weight(),
-                events: shard.trace.len(),
-                outcome,
-            });
+            match r {
+                Ok(outcome) => per_shard.push(ShardOutcome {
+                    index: shard.index,
+                    phase: shard.phase,
+                    weight: shard.weight(),
+                    events: shard.trace.len(),
+                    outcome,
+                }),
+                Err(e) => match self.shard_failure {
+                    ShardFailurePolicy::Fail => return Err(e),
+                    ShardFailurePolicy::Degrade => failed_shards.push(FailedShard {
+                        index: shard.index,
+                        phase: shard.phase,
+                        weight: shard.weight(),
+                        events: shard.trace.len(),
+                        attempts,
+                        error: e,
+                    }),
+                },
+            }
             // `shard` drops here: only one shard is ever resident.
         }
-        if per_shard.is_empty() {
+        if !saw_shard {
             return Err(Error::EmptySearchSpace("shard source yielded no shards".into()));
         }
         let (config, merges) = self.merge_shard_designs(&per_shard)?;
-        self.compose_sharded(per_shard, merges, config, source(), engine)
+        let completed: std::collections::BTreeSet<usize> =
+            per_shard.iter().map(|s| s.index).collect();
+        self.compose_sharded(
+            per_shard,
+            merges,
+            config,
+            source().into_iter().filter(|s| completed.contains(&s.index)),
+            engine,
+            failed_shards,
+            shard_retries,
+        )
     }
 
     /// Per-shard methodology: same hypothesis, labelled for the shard.
@@ -750,6 +923,11 @@ impl Methodology {
         &self,
         per_shard: &[ShardOutcome],
     ) -> Result<(DmConfig, Vec<MergeDecision>)> {
+        if per_shard.is_empty() {
+            return Err(Error::EmptySearchSpace(
+                "no shard exploration completed — nothing to merge".into(),
+            ));
+        }
         let mut partial = PartialConfig::default();
         let mut merges = Vec::with_capacity(self.order.len());
         for &tree in &self.order {
@@ -816,8 +994,11 @@ impl Methodology {
         Ok((config, merges))
     }
 
-    /// Replay the merged design over every shard (cache-assisted) and
-    /// assemble the outcome.
+    /// Replay the merged design over every completed shard
+    /// (cache-assisted) and assemble the outcome. `shards` must yield
+    /// exactly the completed shards — a degraded run filters the failed
+    /// ones out of the composition as well as the merge.
+    #[allow(clippy::too_many_arguments)]
     fn compose_sharded<I>(
         &self,
         per_shard: Vec<ShardOutcome>,
@@ -825,6 +1006,8 @@ impl Methodology {
         config: DmConfig,
         shards: I,
         engine: &ExplorationEngine,
+        failed_shards: Vec<FailedShard>,
+        shard_retries: usize,
     ) -> Result<ShardedOutcome>
     where
         I: IntoIterator<Item = TraceShard>,
@@ -864,6 +1047,14 @@ impl Methodology {
             cache_hits += s.outcome.cache_hits;
         }
         let shard_count = per_shard.len();
+        let completed_weight: f64 = per_shard.iter().map(|s| s.weight).sum();
+        let failed_weight: f64 = failed_shards.iter().map(|s| s.weight).sum();
+        let total_weight = completed_weight + failed_weight;
+        let confidence = if total_weight > 0.0 {
+            completed_weight / total_weight
+        } else {
+            1.0
+        };
         Ok(ShardedOutcome {
             config,
             footprint,
@@ -875,6 +1066,9 @@ impl Methodology {
             shard_count,
             peak_resident_trace_bytes: peak_resident,
             max_carried_bytes: max_carried,
+            failed_shards,
+            confidence,
+            shard_retries,
         })
     }
 }
@@ -1499,6 +1693,119 @@ mod tests {
         assert!(Methodology::new()
             .explore_shard_stream(|| Vec::new().into_iter(), &engine)
             .is_err());
+    }
+
+    #[test]
+    fn nan_objective_weight_does_not_panic_mid_sweep() {
+        let obj = Objective::Weighted {
+            step_weight: f64::NAN,
+        };
+        // Incomparable scores rank equal and fall to the step tie-break.
+        assert_eq!(obj.cmp_raw((10, 5), (20, 5)), std::cmp::Ordering::Equal);
+        assert_eq!(obj.cmp_raw((20, 4), (10, 5)), std::cmp::Ordering::Less);
+        let t = fragmenting_trace();
+        let out = Methodology::new().with_objective(obj).explore(&t);
+        assert!(out.is_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn transient_shard_death_is_retried_to_success() {
+        let t = windowed_trace(3, 100);
+        let clean = Methodology::new().explore_sharded(&t, 3).unwrap();
+        let engine = ExplorationEngine::serial()
+            .with_fault_plan(crate::fault::FaultPlan::new().kill_shard_transiently(1, 2));
+        let out = Methodology::new()
+            .explore_sharded_with_engine(&t, 3, &engine)
+            .unwrap();
+        assert_eq!(out.shard_retries, 2, "two failed attempts consumed");
+        assert!(out.failed_shards.is_empty());
+        assert_eq!(out.confidence, 1.0);
+        assert_eq!(out.config.summary(), clean.config.summary());
+        assert_eq!(
+            out.footprint.peak_footprint,
+            clean.footprint.peak_footprint,
+            "a retried run must be bit-identical to a fault-free one"
+        );
+    }
+
+    #[test]
+    fn fatal_shard_is_a_structured_error_under_fail_policy() {
+        let t = windowed_trace(3, 100);
+        let engine = ExplorationEngine::serial()
+            .with_fault_plan(crate::fault::FaultPlan::new().kill_shard(1));
+        let e = Methodology::new()
+            .explore_sharded_with_engine(&t, 3, &engine)
+            .unwrap_err();
+        match e {
+            Error::ShardFailed {
+                shard,
+                attempts,
+                cause,
+            } => {
+                assert_eq!(shard, 1);
+                assert_eq!(attempts, SHARD_RETRY_ATTEMPTS);
+                assert!(matches!(*cause, Error::WorkerDied { .. }), "{cause:?}");
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fatal_shard_degrades_explicitly_under_degrade_policy() {
+        let t = windowed_trace(3, 100);
+        let engine = ExplorationEngine::serial()
+            .with_fault_plan(crate::fault::FaultPlan::new().kill_shard(1));
+        let out = Methodology::new()
+            .with_shard_failure_policy(ShardFailurePolicy::Degrade)
+            .explore_sharded_with_engine(&t, 3, &engine)
+            .unwrap();
+        assert_eq!(out.shard_count, 2, "two of three shards completed");
+        assert_eq!(out.failed_shards.len(), 1);
+        let failed = &out.failed_shards[0];
+        assert_eq!(failed.index, 1);
+        assert_eq!(failed.attempts, SHARD_RETRY_ATTEMPTS);
+        assert!(matches!(failed.error, Error::ShardFailed { .. }));
+        assert!(
+            out.confidence > 0.0 && out.confidence < 1.0,
+            "degraded confidence must expose the missing weight, got {}",
+            out.confidence
+        );
+        out.config.validate().unwrap();
+        // The composition covered only the completed shards.
+        assert!(out.footprint.events < t.len());
+    }
+
+    #[test]
+    fn degrade_with_no_surviving_shard_is_still_an_error() {
+        let t = windowed_trace(2, 80);
+        let engine = ExplorationEngine::serial()
+            .with_fault_plan(crate::fault::FaultPlan::new().kill_shard(0).kill_shard(1));
+        let e = Methodology::new()
+            .with_shard_failure_policy(ShardFailurePolicy::Degrade)
+            .explore_sharded_with_engine(&t, 2, &engine)
+            .unwrap_err();
+        assert!(matches!(e, Error::EmptySearchSpace(_)), "{e:?}");
+    }
+
+    #[test]
+    fn shard_stream_applies_the_same_retry_and_degrade_policy() {
+        let t = windowed_trace(3, 100);
+        let engine = ExplorationEngine::serial()
+            .with_fault_plan(crate::fault::FaultPlan::new().kill_shard_transiently(0, 1));
+        let out = Methodology::new()
+            .explore_shard_stream(|| crate::trace::shard_trace(&t, 3), &engine)
+            .unwrap();
+        assert_eq!(out.shard_retries, 1);
+        assert_eq!(out.confidence, 1.0);
+        let engine = ExplorationEngine::serial()
+            .with_fault_plan(crate::fault::FaultPlan::new().kill_shard(2));
+        let out = Methodology::new()
+            .with_shard_failure_policy(ShardFailurePolicy::Degrade)
+            .explore_shard_stream(|| crate::trace::shard_trace(&t, 3), &engine)
+            .unwrap();
+        assert_eq!(out.shard_count, 2);
+        assert_eq!(out.failed_shards.len(), 1);
+        assert!(out.confidence < 1.0);
     }
 
     #[test]

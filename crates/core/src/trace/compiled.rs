@@ -31,12 +31,100 @@
 //! [`FootprintStats`], same sampled series, same error surfacing.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::manager::{Allocator, BlockHandle};
 use crate::metrics::{FootprintStats, SeriesPoint, TimeSeries};
 
 use super::{Trace, TraceEvent};
+
+/// How often (in events) the budgeted kernel samples its step budget. A
+/// power of two so the check is a mask; the budget is a worker-liveness
+/// bound, not an exact accounting, so trailing partial blocks going
+/// unchecked is fine.
+const BUDGET_STEP_STRIDE: usize = 64;
+
+/// How often (in events) the budgeted kernel consults the wall clock —
+/// deliberately sparser than the step check, `Instant::now` being the
+/// costlier probe.
+const BUDGET_CLOCK_STRIDE: usize = 1024;
+
+/// A per-candidate replay budget: abort the replay of a pathological
+/// configuration instead of letting it hang an exploration worker.
+///
+/// Two independent axes:
+///
+/// - **steps** — a cap on the manager's charged
+///   [`search_steps`](crate::metrics::AllocStats::search_steps), the
+///   deterministic time proxy. Step budgets make budget-exceeded outcomes
+///   reproducible bit for bit, which is what the fault-injection suite
+///   uses.
+/// - **deadline** — a wall-clock cut-off, the production guard against
+///   candidates whose cost the step model under-charges.
+///
+/// Checks are throttled (every [`BUDGET_STEP_STRIDE`] events for steps,
+/// every [`BUDGET_CLOCK_STRIDE`] for the clock), so a budgeted replay that
+/// stays under budget is bit-identical to — and nearly as fast as — an
+/// unbudgeted one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayBudget {
+    max_steps: Option<u64>,
+    deadline: Option<(Instant, u64)>,
+}
+
+impl ReplayBudget {
+    /// An unlimited budget (no checks fire).
+    pub fn unlimited() -> Self {
+        ReplayBudget::default()
+    }
+
+    /// Cap the replay at `limit` charged search steps.
+    pub fn steps(limit: u64) -> Self {
+        ReplayBudget {
+            max_steps: Some(limit),
+            deadline: None,
+        }
+    }
+
+    /// Additionally cap the replay at `ms` wall-clock milliseconds from
+    /// now.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some((Instant::now() + std::time::Duration::from_millis(ms), ms));
+        self
+    }
+
+    /// Whether any axis is actually bounded.
+    pub fn is_bounded(&self) -> bool {
+        self.max_steps.is_some() || self.deadline.is_some()
+    }
+
+    /// The configured step cap, if any.
+    pub fn step_limit(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    #[inline]
+    fn check(&self, event: usize, stats: &crate::metrics::AllocStats) -> Result<()> {
+        if let Some(limit) = self.max_steps {
+            let spent = stats.search_steps;
+            if spent > limit {
+                return Err(Error::BudgetExceeded { spent, limit });
+            }
+        }
+        if let Some((deadline, ms)) = self.deadline {
+            if (event + 1).is_multiple_of(BUDGET_CLOCK_STRIDE) && Instant::now() >= deadline {
+                // Report the time axis in its own units: ms spent vs ms
+                // budgeted (spent >= limit by construction here).
+                return Err(Error::BudgetExceeded {
+                    spent: ms.max(1),
+                    limit: ms,
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Opcode of one compiled event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,7 +302,7 @@ pub fn replay_compiled<A: Allocator + ?Sized>(
     manager: &mut A,
 ) -> Result<FootprintStats> {
     let mut scratch = ReplayScratch::new();
-    replay_compiled_inner(compiled, manager, &mut scratch, None)
+    replay_compiled_inner(compiled, manager, &mut scratch, None, None)
 }
 
 /// Like [`replay_compiled`], reusing a caller-owned [`ReplayScratch`] —
@@ -230,7 +318,28 @@ pub fn replay_compiled_with<A: Allocator + ?Sized>(
     manager: &mut A,
     scratch: &mut ReplayScratch,
 ) -> Result<FootprintStats> {
-    replay_compiled_inner(compiled, manager, scratch, None)
+    replay_compiled_inner(compiled, manager, scratch, None, None)
+}
+
+/// Like [`replay_compiled_with`], enforcing a per-candidate
+/// [`ReplayBudget`]: the replay aborts with
+/// [`Error::BudgetExceeded`](crate::Error::BudgetExceeded) once the
+/// manager's charged search steps (or the wall clock) cross the budget.
+/// A replay that stays under budget returns stats bit-identical to the
+/// unbudgeted kernel.
+///
+/// # Errors
+///
+/// As for [`replay_compiled`], plus
+/// [`Error::BudgetExceeded`](crate::Error::BudgetExceeded).
+pub fn replay_compiled_budgeted<A: Allocator + ?Sized>(
+    compiled: &CompiledTrace,
+    manager: &mut A,
+    scratch: &mut ReplayScratch,
+    budget: &ReplayBudget,
+) -> Result<FootprintStats> {
+    let budget = budget.is_bounded().then_some(budget);
+    replay_compiled_inner(compiled, manager, scratch, None, budget)
 }
 
 /// Like [`replay_compiled`], additionally sampling the footprint curve
@@ -247,7 +356,13 @@ pub fn replay_compiled_sampled<A: Allocator + ?Sized>(
     sample_every: usize,
 ) -> Result<FootprintStats> {
     let mut scratch = ReplayScratch::new();
-    replay_compiled_inner(compiled, manager, &mut scratch, Some(sample_every.max(1)))
+    replay_compiled_inner(
+        compiled,
+        manager,
+        &mut scratch,
+        Some(sample_every.max(1)),
+        None,
+    )
 }
 
 fn replay_compiled_inner<A: Allocator + ?Sized>(
@@ -255,6 +370,7 @@ fn replay_compiled_inner<A: Allocator + ?Sized>(
     manager: &mut A,
     scratch: &mut ReplayScratch,
     sample_every: Option<usize>,
+    budget: Option<&ReplayBudget>,
 ) -> Result<FootprintStats> {
     scratch.prepare(compiled.slot_count);
     let mut series = sample_every.map(|s| TimeSeries {
@@ -283,6 +399,11 @@ fn replay_compiled_inner<A: Allocator + ?Sized>(
         if super::should_deep_check(i) {
             if let Err(e) = manager.check_invariants() {
                 panic!("invariants violated after event {i}: {e}");
+            }
+        }
+        if let Some(b) = budget {
+            if (i + 1).is_multiple_of(BUDGET_STEP_STRIDE) {
+                b.check(i, manager.stats())?;
             }
         }
         if let Some(ts) = series.as_mut() {
@@ -525,4 +646,68 @@ mod tests {
         assert_eq!(fs.events, 0);
     }
 
+    #[test]
+    fn generous_budget_is_bit_identical_to_unbudgeted() {
+        let t = churn_trace(400);
+        let ct = CompiledTrace::compile(&t);
+        let mut scratch = ReplayScratch::new();
+        for cfg in presets::all() {
+            let plain =
+                replay_compiled(&ct, &mut PolicyAllocator::new(cfg.clone()).unwrap()).unwrap();
+            let budgeted = replay_compiled_budgeted(
+                &ct,
+                &mut PolicyAllocator::new(cfg.clone()).unwrap(),
+                &mut scratch,
+                &ReplayBudget::steps(u64::MAX),
+            )
+            .unwrap();
+            assert_eq!(plain, budgeted, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn tiny_step_budget_trips_deterministically() {
+        let t = churn_trace(2_000);
+        let ct = CompiledTrace::compile(&t);
+        let mut scratch = ReplayScratch::new();
+        let mut run = || {
+            replay_compiled_budgeted(
+                &ct,
+                &mut PolicyAllocator::new(presets::drr_paper()).unwrap(),
+                &mut scratch,
+                &ReplayBudget::steps(1),
+            )
+        };
+        let first = run().unwrap_err();
+        match &first {
+            Error::BudgetExceeded { spent, limit } => {
+                assert_eq!(*limit, 1);
+                assert!(*spent > 1, "tripped with spent={spent}");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Step budgets are deterministic: the same replay trips at the
+        // same charge every time.
+        assert_eq!(run().unwrap_err(), first);
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let t = churn_trace(300);
+        let ct = CompiledTrace::compile(&t);
+        let mut scratch = ReplayScratch::new();
+        let b = ReplayBudget::unlimited();
+        assert!(!b.is_bounded());
+        let plain =
+            replay_compiled(&ct, &mut PolicyAllocator::new(presets::drr_paper()).unwrap())
+                .unwrap();
+        let budgeted = replay_compiled_budgeted(
+            &ct,
+            &mut PolicyAllocator::new(presets::drr_paper()).unwrap(),
+            &mut scratch,
+            &b,
+        )
+        .unwrap();
+        assert_eq!(plain, budgeted);
+    }
 }

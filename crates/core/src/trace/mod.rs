@@ -9,12 +9,17 @@
 pub mod compiled;
 mod record;
 pub mod shard;
+pub mod store;
 
 pub use compiled::{
-    replay_compiled, replay_compiled_sampled, replay_compiled_with, CompiledTrace,
-    ReplayScratch,
+    replay_compiled, replay_compiled_budgeted, replay_compiled_sampled, replay_compiled_with,
+    CompiledTrace, ReplayBudget, ReplayScratch,
 };
 pub use record::RecordingAllocator;
+pub use store::{
+    decode_trace, encode_trace, read_trace, recover_bytes, recover_trace, write_trace,
+    RecoveredTrace,
+};
 pub use shard::{
     replay_shards, replay_shards_config, shard_trace, BoundarySummary, ShardedReplay,
     TraceShard,

@@ -13,8 +13,16 @@
 
 use std::collections::BTreeSet;
 
-use dmm::core::analyze::{catalogue, lint_bounds, lint_config, lint_events, TraceFacts};
-use dmm::core::trace::TraceEvent;
+use dmm::core::analyze::{
+    catalogue, lint_bounds, lint_config, lint_events, lint_exploration, ResilienceReport,
+    TraceFacts,
+};
+use dmm::core::error::Error;
+use dmm::core::fault::{flip_bit, truncate_at, FaultPlan};
+use dmm::core::methodology::{
+    cache::TraceKey, ExplorationEngine, ShardFailurePolicy,
+};
+use dmm::core::trace::{decode_trace, encode_trace, read_trace, TraceEvent};
 use dmm::core::units::MIN_BLOCK;
 use dmm::prelude::*;
 
@@ -188,6 +196,86 @@ fn bounds_fixtures() -> Vec<(Vec<&'static str>, Trace, DmConfig)> {
     ]
 }
 
+/// Durable-store fixtures: each corruption produces its `TR01x` code as a
+/// structured [`Error::TraceStore`].
+fn store_fixtures() -> Vec<(&'static str, Error)> {
+    let trace = {
+        let mut b = Trace::builder();
+        for i in 0..50 {
+            let id = b.alloc(24 + i);
+            b.free(id);
+        }
+        b.finish().unwrap()
+    };
+    let bytes = encode_trace(&trace);
+    vec![
+        ("TR010", decode_trace(b"JUNKJUNKJUNK").unwrap_err()),
+        (
+            "TR011",
+            decode_trace(&truncate_at(&bytes, bytes.len() - 5)).unwrap_err(),
+        ),
+        // Flip one payload bit well past the headers: checksum mismatch.
+        (
+            "TR012",
+            decode_trace(&flip_bit(&bytes, (bytes.len() - 3) * 8)).unwrap_err(),
+        ),
+        (
+            "TR013",
+            read_trace(std::path::Path::new("/nonexistent/dir/x.dmmt")).unwrap_err(),
+        ),
+    ]
+}
+
+/// Exploration-resilience fixtures: inject every fault kind through a
+/// [`FaultPlan`], then lint the surviving run's telemetry — each `EX0xx`
+/// code must fire from a genuinely recovered fault, not a hand-built
+/// report.
+fn exploration_fixture_codes() -> BTreeSet<String> {
+    let trace = {
+        let mut b = Trace::builder();
+        for w in 0..3 {
+            let ids: Vec<u64> = (0..30).map(|i| b.alloc(24 + w * 13 + i)).collect();
+            for id in ids {
+                b.free(id);
+            }
+        }
+        b.finish().unwrap()
+    };
+    // EX001 + EX002: quarantine one panicking candidate and one
+    // budget-exhausted candidate inside a sweep evaluation.
+    let victims: Vec<DmConfig> = vec![presets::drr_paper(), presets::lea_like()];
+    let engine = ExplorationEngine::serial()
+        .with_quarantine(true)
+        .with_fault_plan(
+            FaultPlan::new()
+                .panic_candidate(victims[0].fingerprint())
+                .exhaust_candidate(victims[1].fingerprint()),
+        );
+    let key = TraceKey::of(&trace);
+    for cfg in &victims {
+        let skipped = engine.evaluate_pruned(&trace, key, cfg).unwrap();
+        assert!(skipped.is_none(), "faulted candidate must be skipped");
+    }
+    let mut report = ResilienceReport::from_counters(&engine.counters());
+    // EX003 + EX004: one transient shard death (retried) and one fatal
+    // shard (dropped under Degrade).
+    let engine = ExplorationEngine::serial().with_fault_plan(
+        FaultPlan::new()
+            .kill_shard_transiently(0, 1)
+            .kill_shard(1),
+    );
+    let sharded = Methodology::new()
+        .with_shard_failure_policy(ShardFailurePolicy::Degrade)
+        .explore_sharded_with_engine(&trace, 3, &engine)
+        .unwrap();
+    report = report.with_shards(
+        sharded.shard_retries,
+        sharded.failed_shards.len(),
+        sharded.confidence,
+    );
+    lint_exploration(&report).into_iter().map(|d| d.code).collect()
+}
+
 #[test]
 fn every_catalogue_code_has_a_producing_fixture() {
     let mut produced: BTreeSet<String> = BTreeSet::new();
@@ -227,6 +315,25 @@ fn every_catalogue_code_has_a_producing_fixture() {
                 codes.contains(*want),
                 "bounds fixture for {want} produced {codes:?} instead ({})",
                 cfg.summary()
+            );
+            claimed.insert(want);
+        }
+        produced.extend(codes);
+    }
+    for (want, err) in store_fixtures() {
+        let Error::TraceStore { code, .. } = &err else {
+            panic!("store fixture for {want} produced {err} instead");
+        };
+        assert_eq!(code, want, "store fixture corruption mapped to the wrong code");
+        claimed.insert(want);
+        produced.insert(code.clone());
+    }
+    {
+        let codes = exploration_fixture_codes();
+        for want in ["EX001", "EX002", "EX003", "EX004"] {
+            assert!(
+                codes.contains(want),
+                "exploration fixture for {want} produced {codes:?} instead"
             );
             claimed.insert(want);
         }
