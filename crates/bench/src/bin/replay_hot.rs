@@ -23,7 +23,12 @@
 //! 3. **manager-bound gate vs PR 5** — the same row must be at least
 //!    1.5× the PR 5 baseline, guarding the order-statistic free-list
 //!    layer's speedup (lazy rank replica, bitmap size set, O(1) hit
-//!    charges) at both quick and full scale.
+//!    charges) at both quick and full scale;
+//! 4. **sweep gate** (release full-scale only) — the projected + fused
+//!    sweep must strictly reduce replays, fire the projection tier, and
+//!    finish at least 1.5× faster wall-clock than the plain serial
+//!    sweep, with the winner bit-identical (asserted inside the
+//!    harness).
 
 fn main() {
     let opts = dmm_bench::opts::parse();
@@ -46,9 +51,24 @@ fn main() {
     let e = &report.exploration;
     eprintln!(
         "exploration ({}): {} enumerated -> {} evaluations ({} replays, {} cache hits, \
-         {} statically pruned, {} bound pruned, {} quarantined, {} budget exceeded)",
-        e.workload, e.enumerated, e.evaluations, e.replays, e.cache_hits,
+         {} projection hits, {} statically pruned, {} bound pruned, {} quarantined, \
+         {} budget exceeded)",
+        e.workload, e.enumerated, e.evaluations, e.replays, e.cache_hits, e.projection_hits,
         e.statically_pruned, e.bound_pruned, e.quarantined, e.budget_exceeded
+    );
+    let s = &report.sweep;
+    eprintln!(
+        "sweep ({}, batch {}): baseline {} replays in {:.3}s vs projected {} replays \
+         ({} projection hits) in {:.3}s -> {:.2}x wall-clock, {:.1}% of enumerated replayed",
+        s.workload,
+        s.batch,
+        s.baseline.replays,
+        s.baseline.wallclock_secs,
+        s.projected.replays,
+        s.projected.projection_hits,
+        s.projected.wallclock_secs,
+        s.sweep_wallclock_speedup,
+        100.0 * s.projected_replay_ratio
     );
 
     if check {
@@ -56,17 +76,25 @@ fn main() {
         // counters) must partition the enumerated space, both prune kinds
         // must actually fire on the full release sweep, and an uninjected,
         // unbudgeted sweep must be fault-free.
-        if e.evaluations + e.statically_pruned + e.bound_pruned + e.quarantined
-            + e.budget_exceeded
+        if e.evaluations + e.projection_hits + e.statically_pruned + e.bound_pruned
+            + e.quarantined + e.budget_exceeded
             != e.enumerated
             || e.statically_pruned == 0
             || e.bound_pruned == 0
         {
             eprintln!(
                 "REGRESSION: exploration pruning accounting broken or a prune kind never \
-                 fired ({} + {} + {} + {} + {} vs {} enumerated)",
-                e.evaluations, e.statically_pruned, e.bound_pruned, e.quarantined,
-                e.budget_exceeded, e.enumerated
+                 fired ({} + {} + {} + {} + {} + {} vs {} enumerated)",
+                e.evaluations, e.projection_hits, e.statically_pruned, e.bound_pruned,
+                e.quarantined, e.budget_exceeded, e.enumerated
+            );
+            std::process::exit(1);
+        }
+        if e.cache_hits != 0 {
+            eprintln!(
+                "REGRESSION: {} structural cache hits on an exhaustive sweep — the space \
+                 iterator must enumerate each coherent config exactly once",
+                e.cache_hits
             );
             std::process::exit(1);
         }
@@ -123,6 +151,55 @@ fn main() {
                 "manager-bound gate ok: {:.2}x the {label} baseline on {} x {} ({:.0} ev/s end-to-end)",
                 speedup, mgr.workload, mgr.manager, mgr.compiled_events_per_sec
             );
+        }
+
+        // Sweep gate: projection + fused batching must pay for themselves
+        // on the full branch-and-bound space. Winner bit-identity was
+        // already asserted inside the harness; here the speed and replay
+        // reduction are enforced. Debug builds run the shadow oracle (a
+        // fresh replay per projection hit — the soundness check), so the
+        // speed half of the gate is release-only; the accounting half
+        // always holds.
+        const SWEEP_GATE: f64 = 1.5;
+        for side in [&s.baseline, &s.projected] {
+            if side.evaluations + side.projection_hits + side.statically_pruned
+                + side.bound_pruned
+                != side.enumerated
+            {
+                eprintln!(
+                    "REGRESSION: {} sweep accounting broken ({} + {} + {} + {} vs {} enumerated)",
+                    side.label, side.evaluations, side.projection_hits,
+                    side.statically_pruned, side.bound_pruned, side.enumerated
+                );
+                std::process::exit(1);
+            }
+        }
+        if !cfg!(debug_assertions) {
+            if s.projected.projection_hits == 0 || s.projected.replays >= s.baseline.replays {
+                eprintln!(
+                    "REGRESSION: projection did not reduce replays ({} projected vs {} \
+                     baseline, {} projection hits)",
+                    s.projected.replays, s.baseline.replays, s.projected.projection_hits
+                );
+                std::process::exit(1);
+            }
+            if s.sweep_wallclock_speedup < SWEEP_GATE {
+                eprintln!(
+                    "REGRESSION: projected+batched sweep is only {:.2}x the serial baseline \
+                     (gate {SWEEP_GATE}x; {:.3}s vs {:.3}s)",
+                    s.sweep_wallclock_speedup, s.projected.wallclock_secs,
+                    s.baseline.wallclock_secs
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "sweep gate ok: {:.2}x wall-clock, replays {} -> {} ({} projection hits, \
+                 {:.1}% of enumerated replayed)",
+                s.sweep_wallclock_speedup, s.baseline.replays, s.projected.replays,
+                s.projected.projection_hits, 100.0 * s.projected_replay_ratio
+            );
+        } else {
+            eprintln!("sweep gate: accounting ok (speed half is release-only)");
         }
     }
 }

@@ -96,6 +96,12 @@ pub struct Invocation {
     /// `--budget-ms=N`: per-candidate replay budget in wall-clock
     /// milliseconds (malformed values read as 0).
     pub budget_ms: Option<u64>,
+    /// `--batch=N`: fused multi-candidate replay width for exhaustive
+    /// sweeps — N candidates share one pass over the compiled event
+    /// stream, and trace-conditioned projection collapses
+    /// behaviorally-identical candidates onto one replay (1 = the serial
+    /// kernel, no projection).
+    pub batch: usize,
 }
 
 impl Invocation {
@@ -118,6 +124,7 @@ impl Invocation {
         let mut recover = false;
         let mut budget_steps = None;
         let mut budget_ms = None;
+        let mut batch = 1usize;
         let mut expect_explain = false;
         let mut expect_deny = false;
         let mut seen_command = false;
@@ -169,6 +176,9 @@ impl Invocation {
             } else if let Some(s) = a.strip_prefix("--shards=") {
                 // Malformed or zero means unsharded.
                 shards = s.parse().unwrap_or(1).max(1);
+            } else if let Some(s) = a.strip_prefix("--batch=") {
+                // Malformed or zero means the serial kernel.
+                batch = s.parse().unwrap_or(1).max(1);
             } else if !seen_command {
                 command = a.clone();
                 seen_command = true;
@@ -202,6 +212,7 @@ impl Invocation {
             recover,
             budget_steps,
             budget_ms,
+            batch,
         }
     }
 }
@@ -261,6 +272,10 @@ fn engine_for(inv: &Invocation) -> Result<ExplorationEngine> {
         ));
     }
     let mut engine = ExplorationEngine::new(inv.jobs);
+    if inv.batch > 1 {
+        engine.set_batch(inv.batch);
+        engine.set_projection(true);
+    }
     if inv.budget_steps.is_some() || inv.budget_ms.is_some() {
         engine.set_budget(BudgetSpec {
             max_steps: inv.budget_steps,
@@ -390,7 +405,10 @@ pub fn help_text() -> String {
      --checkpoint=FILE journals every completed replay; after a crash,\n\
      --resume skips the journalled candidates (bit-identical winner)\n\
      --budget-steps=N / --budget-ms=N bound each candidate replay; a\n\
-     tripped budget aborts that candidate, not the sweep\n"
+     tripped budget aborts that candidate, not the sweep\n\
+     --batch=N fuses N candidates into one pass over the compiled event\n\
+     stream and projects behaviourally-identical candidates onto one\n\
+     replay (bit-identical winner; 1 = the serial kernel)\n"
         .to_string()
 }
 
@@ -1022,6 +1040,14 @@ mod tests {
             "malformed shard count falls back to unsharded"
         );
         assert_eq!(inv(&["explore", "--shards=0"]).shards, 1);
+        assert_eq!(inv(&["explore"]).batch, 1, "batch defaults to serial");
+        assert_eq!(inv(&["explore", "--batch=16"]).batch, 16);
+        assert_eq!(
+            inv(&["explore", "--batch=oops"]).batch,
+            1,
+            "malformed batch width falls back to the serial kernel"
+        );
+        assert_eq!(inv(&["explore", "--batch=0"]).batch, 1);
     }
 
     #[test]
@@ -1039,6 +1065,21 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(tail(&serial), tail(&parallel));
+    }
+
+    #[test]
+    fn explore_batched_projection_agrees_with_serial() {
+        // --batch=N turns on the fused kernel and the projection tier;
+        // the designed manager must not change.
+        let serial = explore_text(&inv(&["explore", "drr", "--jobs=1"])).unwrap();
+        let batched = explore_text(&inv(&["explore", "drr", "--jobs=1", "--batch=8"])).unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("decision log"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&serial), tail(&batched));
     }
 
     #[test]

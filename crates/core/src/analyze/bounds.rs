@@ -119,6 +119,11 @@ pub struct TraceFacts {
     /// `(requested size, max simultaneously-live count)` per distinct
     /// request size, ascending by size.
     pub max_simultaneous: Vec<(usize, usize)>,
+    /// `(requested size, total allocation count)` per distinct request
+    /// size, ascending by size — the whole-trace census (not the live
+    /// set), used by trace-conditioned config projection to bound the
+    /// arena a replay can ever grow to.
+    pub size_census: Vec<(usize, usize)>,
     /// Per-phase live profiles, in first-entry order.
     pub phases: Vec<PhaseFacts>,
 }
@@ -145,6 +150,7 @@ impl TraceFacts {
         let mut sizes: HashMap<u64, usize> = HashMap::new();
         let mut live_counts: HashMap<usize, usize> = HashMap::new();
         let mut max_counts: HashMap<usize, usize> = HashMap::new();
+        let mut total_counts: HashMap<usize, usize> = HashMap::new();
         let mut live_bytes = 0usize;
         let (mut peak_bytes, mut peak_bytes_at) = (0usize, None::<usize>);
         let (mut peak_blocks, mut peak_blocks_at) = (0usize, None::<usize>);
@@ -183,6 +189,7 @@ impl TraceFacts {
                     *c += 1;
                     let m = max_counts.entry(*size).or_insert(0);
                     *m = (*m).max(*c);
+                    *total_counts.entry(*size).or_insert(0) += 1;
                     if live_bytes > peak_bytes {
                         peak_bytes = live_bytes;
                         peak_bytes_at = Some(i);
@@ -267,6 +274,8 @@ impl TraceFacts {
 
         let mut max_simultaneous: Vec<(usize, usize)> = max_counts.into_iter().collect();
         max_simultaneous.sort_unstable();
+        let mut size_census: Vec<(usize, usize)> = total_counts.into_iter().collect();
+        size_census.sort_unstable();
 
         TraceFacts {
             peak: LiveSetPeak {
@@ -277,6 +286,7 @@ impl TraceFacts {
             frees,
             snapshots,
             max_simultaneous,
+            size_census,
             phases: phases
                 .into_iter()
                 .filter(|p| p.peak_bytes_at.is_some() || !p.boundary.is_closed())

@@ -17,16 +17,52 @@
 //! shared across traces (e.g. across the per-phase sub-traces of
 //! [`explore_phases`](crate::methodology::Methodology::explore_phases), or
 //! across repeated designs in a bench harness).
+//!
+//! # Why an exhaustive sweep has `cache_hits: 0` on structural keys
+//!
+//! The structural cache only pays off when the *same* `(trace, config)`
+//! pair is evaluated twice — which the greedy traversal and the portfolio
+//! probes do constantly, but an exhaustive branch-and-bound sweep never
+//! does: [`SpaceIter`](crate::space::enumerate::SpaceIter) enumerates each
+//! coherent configuration exactly once, and pruned candidates skip the
+//! cache entirely. The committed full-sweep telemetry in
+//! `BENCH_replay.json` therefore reports `cache_hits: 0` by construction
+//! (the `replay_hot` bench asserts this invariant). Collapsing the sweep
+//! needs a *coarser* equivalence than structural identity — that is what
+//! [`ProjectedKey`] provides.
+//!
+//! # Trace-conditioned config projection
+//!
+//! Two structurally-different configurations frequently *behave*
+//! identically on a given trace: a coalesce cap larger than the arena can
+//! ever grow is indistinguishable from no cap, a split threshold no
+//! remainder can reach is indistinguishable from any other unreachable
+//! threshold, and on an alloc-only trace every `free`-path knob (trim,
+//! boundary tags beyond their byte cost, deferred vs immediate
+//! coalescing) is dead code. [`TraceProjection`] captures the trace facts
+//! needed to decide reachability — the per-size allocation census and
+//! whether the trace frees at all — and [`ProjectedKey::of`] canonicalizes
+//! a configuration against them, so behaviourally-identical candidates
+//! collapse to one projected cache entry ([`ReplayCache::get_projected`]).
+//! Soundness (equal projected key ⇒ bit-identical
+//! [`FootprintStats`]) is argued rule-by-rule on [`ProjectedKey::of`],
+//! enforced in debug builds by the engine's shadow oracle, and
+//! proptested across presets × flat/phased/re-entrant traces.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
+use crate::analyze::TraceFacts;
 use crate::metrics::FootprintStats;
 use crate::space::config::{DmConfig, Params};
-use crate::space::trees::{Leaf, TreeId};
+use crate::space::trees::{
+    BlockSizes, BlockStructure, BlockTags, CoalesceMaxSizes, CoalesceWhen, FitAlgorithm, Leaf,
+    PoolDivision, PoolStructure, SplitMinSizes, SplitWhen, TreeId,
+};
 use crate::trace::Trace;
+use crate::units::{MIN_BLOCK, SBRK_GRANULARITY};
 
 /// Structural identity of a configuration: one leaf per tree plus the
 /// quantitative parameters. The name is excluded — two managers that differ
@@ -84,6 +120,197 @@ impl TraceKey {
     }
 }
 
+/// The slice of [`TraceFacts`] that decides which configuration arms are
+/// reachable on a trace: the whole-trace per-size allocation census (which
+/// bounds how far the arena can ever grow) and whether the trace frees at
+/// all (which decides whether any `free`-path machinery runs).
+///
+/// Computed once per trace and shared across every candidate of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceProjection {
+    /// `true` when the trace contains no free events.
+    frees_zero: bool,
+    /// `(requested size, total allocation count)`, ascending by size.
+    size_census: Vec<(usize, usize)>,
+}
+
+impl TraceProjection {
+    /// Extract the projection-relevant facts.
+    pub fn of(facts: &TraceFacts) -> TraceProjection {
+        TraceProjection {
+            frees_zero: facts.frees == 0,
+            size_census: facts.size_census.clone(),
+        }
+    }
+
+    /// A sound upper bound on the arena break (`brk`) any replay of this
+    /// trace under `cfg` can reach, in bytes.
+    ///
+    /// Each allocation triggers at most one `grow`; a fixed-class grow
+    /// reserves exactly `max(block_len, SBRK_GRANULARITY)` and a
+    /// many-sizes grow reserves at most `block_len` — both are at most
+    /// `block_len_for(size) + SBRK_GRANULARITY`. Summing that over the
+    /// whole-trace census (every allocation, not just the live peak)
+    /// therefore dominates every possible `brk`. Saturating arithmetic:
+    /// on overflow the bound degrades to `usize::MAX`, which simply
+    /// disables the reachability collapses (still sound).
+    pub fn arena_bound(&self, cfg: &DmConfig) -> usize {
+        self.size_census.iter().fold(0usize, |acc, &(size, count)| {
+            acc.saturating_add(
+                count.saturating_mul(cfg.block_len_for(size).saturating_add(SBRK_GRANULARITY)),
+            )
+        })
+    }
+}
+
+/// Trace-conditioned behavioural identity of a configuration: the
+/// [`ConfigKey`] quotient under "replays bit-identically on this trace".
+///
+/// Two configurations with equal projected keys execute the policy
+/// allocator step-for-step identically on the projection's trace —
+/// identical [`FootprintStats`] *and* identical errors. Every collapse is
+/// justified by a reachability argument against [`TraceProjection`]'s
+/// arena bound `B` (no block span, remainder, merged span or `brk` can
+/// ever reach `B`):
+///
+/// - **A3 × A4 → byte cost + neighbour knowledge.** The tag trees act
+///   only through `tag_bytes_per_block()` (block rounding) and the
+///   cheap-prev-neighbour test inside `coalesce_at`; the latter is dead
+///   when the trace never frees or the config never coalesces.
+/// - **E1/E2 × split params → canonical trigger.** Splitting acts only
+///   through `split_trigger()` (`None` ⇔ `may_split()` is false, which
+///   the exact-fit retry and the segregated fallback also consult — so
+///   `None` is reserved for that case) and an unreachable trigger `t ≥ B`
+///   is canonicalized to `usize::MAX` rather than `None`.
+/// - **D1 × coalesce cap → effective cap.** The cap acts only inside the
+///   merge paths; `cap ≥ B` can never reject a merge (canonical
+///   `usize::MAX`), and with zero frees the merge paths are dead
+///   (canonical `0`).
+/// - **D2 on an alloc-only trace.** `free` never runs, so immediate vs
+///   deferred coalescing is indistinguishable (`Deferred → Always`);
+///   `Never` stays distinct because `may_coalesce()` steers `grow`'s
+///   top-extension even without frees.
+/// - **Trim / arena limit.** `maybe_trim` only runs from `free` and only
+///   trims blocks of `len ≥ threshold`; a threshold `> B` or an
+///   alloc-only trace make it dead (canonical `None`). An arena limit
+///   `≥ B` can never trip (canonical `None`).
+/// - **A5 → derived predicates.** The flexibility tree acts only through
+///   `may_split()`/`may_coalesce()`, both of which are encoded above.
+/// - **Profiled classes** are consulted only under
+///   `A2 = ProfiledClasses` (class rounding and pool routing); otherwise
+///   canonically empty.
+///
+/// A1/A2/B1/B4/C1 are always behaviourally live (block structure, class
+/// rounding, pool layout and routing charges, fit search charges) and are
+/// kept verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProjectedKey {
+    block_structure: BlockStructure,
+    block_sizes: BlockSizes,
+    pool_division: PoolDivision,
+    pool_structure: PoolStructure,
+    fit: FitAlgorithm,
+    tag_bytes: usize,
+    may_coalesce: bool,
+    coalesce_when: CoalesceWhen,
+    coalesce_cap: usize,
+    cheap_prev: bool,
+    split_trigger: Option<usize>,
+    profiled_classes: Vec<usize>,
+    trim_threshold: Option<usize>,
+    arena_limit: Option<usize>,
+}
+
+impl ProjectedKey {
+    /// Project a configuration against a trace.
+    pub fn of(cfg: &DmConfig, projection: &TraceProjection) -> ProjectedKey {
+        let bound = projection.arena_bound(cfg);
+        let frees_zero = projection.frees_zero;
+        let may_split = cfg.may_split();
+        let may_coalesce = cfg.may_coalesce();
+
+        // Mirror of `PolicyAllocator::{min_remainder, split_trigger}`.
+        let min_remainder = match cfg.split_min {
+            SplitMinSizes::Unrestricted => MIN_BLOCK,
+            SplitMinSizes::Floored => cfg.params.split_floor.max(MIN_BLOCK),
+        };
+        let split_trigger = match (may_split, cfg.split_when) {
+            (false, _) | (_, SplitWhen::Never) => None,
+            (true, SplitWhen::Always) => Some(min_remainder),
+            (true, SplitWhen::Threshold) => {
+                Some(cfg.params.split_threshold.max(min_remainder))
+            }
+        }
+        // A remainder is strictly smaller than its block (the carved part
+        // is at least MIN_BLOCK), so `t ≥ bound` can never fire. Keep
+        // `Some`: `may_split()` stays observable through the exact-fit
+        // retry and the segregated fallback.
+        .map(|t| if t >= bound { usize::MAX } else { t });
+
+        // With no frees, `free` (and with it `coalesce_at`, the deferred
+        // dirty flag and `sweep_coalesce`) never runs; only
+        // `may_coalesce()` remains observable, via `grow`.
+        let coalesce_when = match (frees_zero, cfg.coalesce_when) {
+            (true, CoalesceWhen::Deferred) => CoalesceWhen::Always,
+            (_, w) => w,
+        };
+        let coalesce_reachable = may_coalesce && !frees_zero;
+        let coalesce_cap = if !coalesce_reachable {
+            0 // sentinel: the merge paths are dead code
+        } else {
+            let cap = match cfg.coalesce_max {
+                CoalesceMaxSizes::Unlimited => usize::MAX,
+                CoalesceMaxSizes::Capped => cfg.params.coalesce_cap,
+            };
+            // A merged span is at most `brk ≤ bound`, so a cap at least
+            // that large never rejects a merge.
+            if cap >= bound {
+                usize::MAX
+            } else {
+                cap
+            }
+        };
+        let cheap_prev = coalesce_reachable
+            && (matches!(cfg.block_tags, BlockTags::Footer | BlockTags::HeaderAndFooter)
+                || cfg.recorded_info.knows_prev());
+
+        // `maybe_trim` only runs from `free`, and only releases top blocks
+        // of `len ≥ threshold ≤ brk ≤ bound`.
+        let trim_threshold = match cfg.params.trim_threshold {
+            _ if frees_zero => None,
+            Some(t) if t > bound => None,
+            other => other,
+        };
+        // `brk` never exceeds `bound`, so a limit at least that large
+        // never trips.
+        let arena_limit = match cfg.params.arena_limit {
+            Some(l) if l >= bound => None,
+            other => other,
+        };
+
+        ProjectedKey {
+            block_structure: cfg.block_structure,
+            block_sizes: cfg.block_sizes,
+            pool_division: cfg.pool_division,
+            pool_structure: cfg.pool_structure,
+            fit: cfg.fit,
+            tag_bytes: cfg.tag_bytes_per_block(),
+            may_coalesce,
+            coalesce_when,
+            coalesce_cap,
+            cheap_prev,
+            split_trigger,
+            profiled_classes: if cfg.block_sizes == BlockSizes::ProfiledClasses {
+                cfg.params.profiled_classes.clone()
+            } else {
+                Vec::new()
+            },
+            trim_threshold,
+            arena_limit,
+        }
+    }
+}
+
 /// A thread-safe memo table from `(trace, configuration)` to the replay's
 /// [`FootprintStats`].
 ///
@@ -113,6 +340,11 @@ impl TraceKey {
 #[derive(Debug, Default)]
 pub struct ReplayCache {
     map: Mutex<HashMap<(TraceKey, ConfigKey), FootprintStats>>,
+    /// The projected tier: one entry per behavioural equivalence class
+    /// (trace-conditioned), shared by every structural member of the
+    /// class. Kept separate from the structural map so the exact-identity
+    /// contract of [`ReplayCache::get`] is untouched.
+    projected: Mutex<HashMap<(TraceKey, ProjectedKey), FootprintStats>>,
 }
 
 impl ReplayCache {
@@ -150,6 +382,32 @@ impl ReplayCache {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert((trace, ConfigKey::of(cfg)), stats);
+    }
+
+    /// Cached replay statistics of a projected equivalence class, if any
+    /// member of the class was replayed on this trace before.
+    ///
+    /// As with [`ReplayCache::get`], the returned statistics carry the
+    /// *cached* member's manager name; callers restore their own.
+    pub fn get_projected(&self, trace: TraceKey, key: &ProjectedKey) -> Option<FootprintStats> {
+        self.projected
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&(trace, key.clone()))
+            .cloned()
+    }
+
+    /// Record the replay statistics of a projected equivalence class.
+    pub fn insert_projected(&self, trace: TraceKey, key: ProjectedKey, stats: FootprintStats) {
+        self.projected
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert((trace, key), stats);
+    }
+
+    /// Number of memoised projected equivalence classes.
+    pub fn projected_len(&self) -> usize {
+        self.projected.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// Number of memoised replays.
@@ -218,6 +476,145 @@ mod tests {
         b.free(a);
         let other = b.finish().unwrap();
         assert!(cache.get(&other, &presets::drr_paper()).is_none());
+    }
+
+    fn alloc_only_trace() -> Trace {
+        let mut b = Trace::builder();
+        b.alloc(100);
+        b.alloc(48);
+        b.alloc(100);
+        b.finish().unwrap()
+    }
+
+    fn projection_of(trace: &Trace) -> TraceProjection {
+        TraceProjection::of(&crate::analyze::TraceFacts::of(trace))
+    }
+
+    #[test]
+    fn alloc_only_traces_collapse_dead_free_machinery() {
+        let no_frees = projection_of(&alloc_only_trace());
+        let with_frees = projection_of(&tiny_trace());
+
+        // Same tag byte cost, different neighbour knowledge: Header vs
+        // Footer matters only inside `coalesce_at`, which never runs
+        // without frees.
+        let header = presets::drr_paper();
+        let footer = header.clone().with_leaf(Leaf::A3(BlockTags::Footer));
+        assert_eq!(header.tag_bytes_per_block(), footer.tag_bytes_per_block());
+        assert_eq!(
+            ProjectedKey::of(&header, &no_frees),
+            ProjectedKey::of(&footer, &no_frees),
+            "cheap-prev must be canonicalized away on an alloc-only trace"
+        );
+        assert_ne!(
+            ProjectedKey::of(&header, &with_frees),
+            ProjectedKey::of(&footer, &with_frees),
+            "with frees, neighbour knowledge steers coalescing"
+        );
+
+        // Deferred vs immediate coalescing is free-path machinery too.
+        let deferred = header
+            .clone()
+            .with_leaf(Leaf::D2(CoalesceWhen::Deferred));
+        assert_eq!(
+            ProjectedKey::of(&header, &no_frees),
+            ProjectedKey::of(&deferred, &no_frees)
+        );
+        assert_ne!(
+            ProjectedKey::of(&header, &with_frees),
+            ProjectedKey::of(&deferred, &with_frees)
+        );
+
+        // Trimming only happens from `free`.
+        let mut untrimmed = header.clone();
+        untrimmed.params.trim_threshold = None;
+        assert_eq!(
+            ProjectedKey::of(&header, &no_frees),
+            ProjectedKey::of(&untrimmed, &no_frees)
+        );
+    }
+
+    #[test]
+    fn unreachable_split_thresholds_collapse_but_preserve_may_split() {
+        let trace = tiny_trace();
+        let proj = projection_of(&trace);
+        let base = presets::drr_paper();
+        let bound = proj.arena_bound(&base);
+
+        let mut huge_a = base.clone().with_leaf(Leaf::E2(SplitWhen::Threshold));
+        huge_a.params.split_threshold = bound;
+        let mut huge_b = huge_a.clone();
+        huge_b.params.split_threshold = bound.saturating_mul(2);
+        assert_eq!(
+            ProjectedKey::of(&huge_a, &proj),
+            ProjectedKey::of(&huge_b, &proj),
+            "two unreachable thresholds are the same behaviour"
+        );
+
+        // A config that *cannot* split stays distinct: `may_split()` is
+        // observable (exact-fit retry, segregated fallback) even when the
+        // trigger never fires.
+        let never = base
+            .clone()
+            .with_leaf(Leaf::E2(SplitWhen::Never))
+            .with_leaf(Leaf::A5(crate::space::trees::FlexibleSize::CoalesceOnly));
+        assert_ne!(
+            ProjectedKey::of(&huge_a, &proj),
+            ProjectedKey::of(&never, &proj)
+        );
+    }
+
+    #[test]
+    fn unreachable_coalesce_caps_collapse_to_unlimited() {
+        let trace = tiny_trace();
+        let proj = projection_of(&trace);
+        let unlimited = presets::drr_paper();
+        let bound = proj.arena_bound(&unlimited);
+
+        let mut capped_high = unlimited
+            .clone()
+            .with_leaf(Leaf::D1(CoalesceMaxSizes::Capped));
+        capped_high.params.coalesce_cap = bound;
+        assert_eq!(
+            ProjectedKey::of(&unlimited, &proj),
+            ProjectedKey::of(&capped_high, &proj),
+            "a cap the arena can never reach is no cap"
+        );
+
+        let mut capped_low = capped_high.clone();
+        capped_low.params.coalesce_cap = 64;
+        assert_ne!(
+            ProjectedKey::of(&unlimited, &proj),
+            ProjectedKey::of(&capped_low, &proj)
+        );
+
+        // An arena limit the arena can never reach is no limit either.
+        let mut limited = unlimited.clone();
+        limited.params.arena_limit = Some(bound);
+        assert_eq!(
+            ProjectedKey::of(&unlimited, &proj),
+            ProjectedKey::of(&limited, &proj)
+        );
+    }
+
+    #[test]
+    fn projected_tier_round_trips_and_ignores_names() {
+        let trace = tiny_trace();
+        let proj = projection_of(&trace);
+        let cache = ReplayCache::new();
+        let cfg = presets::drr_paper();
+        let key = TraceKey::of(&trace);
+        let pk = ProjectedKey::of(&cfg, &proj);
+        assert!(cache.get_projected(key, &pk).is_none());
+        let fs = replay(&trace, &mut PolicyAllocator::new(cfg.clone()).unwrap()).unwrap();
+        cache.insert_projected(key, pk.clone(), fs.clone());
+        assert_eq!(cache.get_projected(key, &pk), Some(fs));
+        assert_eq!(cache.projected_len(), 1);
+        assert!(cache.is_empty(), "the structural tier is untouched");
+
+        let mut renamed = cfg.clone();
+        renamed.name = "same machinery".into();
+        assert_eq!(pk, ProjectedKey::of(&renamed, &proj));
     }
 
     #[test]

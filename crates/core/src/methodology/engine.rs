@@ -22,13 +22,13 @@ use std::sync::{Arc, Mutex};
 use crate::error::{Error, Result};
 use crate::fault::FaultPlan;
 use crate::manager::PolicyAllocator;
-use crate::methodology::cache::{ReplayCache, TraceKey};
+use crate::methodology::cache::{ProjectedKey, ReplayCache, TraceKey, TraceProjection};
 use crate::methodology::checkpoint::CheckpointJournal;
 use crate::metrics::FootprintStats;
 use crate::space::config::DmConfig;
 use crate::trace::{
-    replay_compiled_budgeted, replay_compiled_with, CompiledTrace, ReplayBudget, ReplayScratch,
-    Trace,
+    replay_compiled_batch, replay_compiled_budgeted, replay_compiled_with, BatchScratch,
+    CompiledTrace, ReplayBudget, ReplayScratch, Trace,
 };
 
 thread_local! {
@@ -39,6 +39,10 @@ thread_local! {
     /// safe — and allocation-free once the table has grown to the largest
     /// slot count seen.
     static REPLAY_SCRATCH: RefCell<ReplayScratch> = RefCell::new(ReplayScratch::new());
+    /// Per-worker slot matrix for the fused multi-candidate kernel
+    /// ([`replay_compiled_batch`]); same reuse contract as
+    /// [`REPLAY_SCRATCH`].
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::new());
 }
 
 /// Monotonic counters of one engine's work.
@@ -66,17 +70,25 @@ pub struct EngineCounters {
     /// in quarantine mode — aborted and skipped instead of hanging a
     /// worker. Not counted in `evaluations`.
     pub budget_exceeded: usize,
+    /// Candidates served from the trace-conditioned projection tier of the
+    /// cache ([`ProjectedKey`]): a behaviorally-identical sibling was
+    /// already replayed on this trace, so the candidate's stats were
+    /// copied, not recomputed. Not counted in `evaluations` — the sweep
+    /// partition is `evaluations + projection_hits + statically_pruned +
+    /// bound_pruned + quarantined + budget_exceeded == enumerated`.
+    pub projection_hits: usize,
 }
 
 impl std::fmt::Display for EngineCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} evaluations ({} replays, {} cache hits, {} statically pruned, {} bound pruned, \
-             {} quarantined, {} over budget)",
+            "{} evaluations ({} replays, {} cache hits, {} projection hits, {} statically \
+             pruned, {} bound pruned, {} quarantined, {} over budget)",
             self.evaluations,
             self.replays,
             self.cache_hits,
+            self.projection_hits,
             self.statically_pruned,
             self.bound_pruned,
             self.quarantined,
@@ -103,6 +115,10 @@ pub struct Evaluation {
     pub stats: FootprintStats,
     /// Whether the result came from the cache instead of a fresh replay.
     pub cache_hit: bool,
+    /// Whether the hit came from the trace-conditioned projection tier —
+    /// a behaviorally-identical (not structurally-identical) sibling's
+    /// replay was reused.
+    pub projected: bool,
 }
 
 /// Per-candidate replay budget specification, materialized into a
@@ -143,9 +159,16 @@ pub struct ExplorationEngine {
     /// subsequent replay of that trace — hundreds per `explore` — runs the
     /// hash-free [`replay_compiled_with`] kernel instead.
     compiled: Mutex<HashMap<TraceKey, Arc<CompiledTrace>>>,
+    /// Trace-conditioned projection of every trace this engine has swept
+    /// with projection enabled, keyed like `compiled`. Deriving one is a
+    /// single O(events) [`crate::analyze::TraceFacts`] pass; every
+    /// candidate of every subsequent sweep reuses it to compute its
+    /// [`ProjectedKey`] in O(1).
+    projections: Mutex<HashMap<TraceKey, Arc<TraceProjection>>>,
     evaluations: AtomicUsize,
     replays: AtomicUsize,
     cache_hits: AtomicUsize,
+    projection_hits: AtomicUsize,
     statically_pruned: AtomicUsize,
     bound_pruned: AtomicUsize,
     quarantined: AtomicUsize,
@@ -157,6 +180,12 @@ pub struct ExplorationEngine {
     /// Quarantine mode: sweep entry points skip (instead of propagate)
     /// candidates that panic or run out of budget.
     quarantine: bool,
+    /// Trace-conditioned config projection: sweep entry points collapse
+    /// candidates whose [`ProjectedKey`] matches an already-replayed
+    /// sibling into a copied result ([`EngineCounters::projection_hits`]).
+    projection: bool,
+    /// Candidates per fused-replay batch (1 = the serial kernel).
+    batch: usize,
     /// Per-candidate replay budget, enforced inside the compiled kernel.
     budget: BudgetSpec,
     /// Injected faults (tests only; `None` in production).
@@ -188,15 +217,19 @@ impl ExplorationEngine {
             jobs,
             cache: ReplayCache::new(),
             compiled: Mutex::new(HashMap::new()),
+            projections: Mutex::new(HashMap::new()),
             evaluations: AtomicUsize::new(0),
             replays: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
+            projection_hits: AtomicUsize::new(0),
             statically_pruned: AtomicUsize::new(0),
             bound_pruned: AtomicUsize::new(0),
             quarantined: AtomicUsize::new(0),
             budget_exceeded: AtomicUsize::new(0),
             spawned: AtomicUsize::new(0),
             quarantine: false,
+            projection: false,
+            batch: 1,
             budget: BudgetSpec::default(),
             fault_plan: None,
             journal: None,
@@ -226,6 +259,54 @@ impl ExplorationEngine {
     /// Whether quarantine mode is on.
     pub fn quarantine(&self) -> bool {
         self.quarantine
+    }
+
+    /// Enable/disable trace-conditioned config projection on the sweep
+    /// entry points ([`ExplorationEngine::evaluate_bounded`],
+    /// [`ExplorationEngine::evaluate_bounded_batch`]): candidates whose
+    /// [`ProjectedKey`] matches an already-replayed sibling are served a
+    /// copy of that sibling's stats — counted in
+    /// [`EngineCounters::projection_hits`], never in `evaluations` — and
+    /// in debug builds every served copy is checked against a fresh
+    /// shadow replay (the soundness oracle). The greedy/strict entry
+    /// points never project: their callers compare candidates by name,
+    /// not by enumeration order, and the replays are few.
+    pub fn set_projection(&mut self, on: bool) {
+        self.projection = on;
+    }
+
+    /// Builder form of [`ExplorationEngine::set_projection`].
+    #[must_use]
+    pub fn with_projection(mut self, on: bool) -> Self {
+        self.projection = on;
+        self
+    }
+
+    /// Whether trace-conditioned projection is on.
+    pub fn projection(&self) -> bool {
+        self.projection
+    }
+
+    /// Set the fused-replay batch width: sweeps evaluate up to `batch`
+    /// candidates per worker down **one pass** of the compiled event
+    /// stream ([`replay_compiled_batch`]). `0` and `1` both mean the
+    /// serial kernel. Budgeted, fault-injected, journalled or quarantined
+    /// engines fall back to the serial kernel per candidate — those paths
+    /// need per-candidate control the fused loop does not have.
+    pub fn set_batch(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
+    /// Builder form of [`ExplorationEngine::set_batch`].
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.set_batch(batch);
+        self
+    }
+
+    /// The fused-replay batch width (1 = serial kernel).
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// Set the per-candidate replay budget (applies to every subsequent
@@ -298,6 +379,7 @@ impl ExplorationEngine {
             evaluations: self.evaluations.load(Ordering::Relaxed),
             replays: self.replays.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            projection_hits: self.projection_hits.load(Ordering::Relaxed),
             statically_pruned: self.statically_pruned.load(Ordering::Relaxed),
             bound_pruned: self.bound_pruned.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
@@ -318,6 +400,14 @@ impl ExplorationEngine {
     /// (see [`ExplorationEngine::evaluate_bounded`]).
     pub fn bound_pruned(&self) -> usize {
         self.bound_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Candidates this engine served from the projection tier — a
+    /// behaviorally-identical sibling under this trace was already
+    /// replayed, so the stats were copied instead of recomputed
+    /// (see [`ExplorationEngine::set_projection`]).
+    pub fn projection_hits(&self) -> usize {
+        self.projection_hits.load(Ordering::Relaxed)
     }
 
     /// The engine's replay cache (for diagnostics/tests).
@@ -449,7 +539,245 @@ impl ExplorationEngine {
                 return Ok(None);
             }
         }
+        if self.projection {
+            return self.quarantine_or_raise(self.evaluate_projected(trace, key, cfg));
+        }
         self.quarantine_or_raise(self.evaluate_one(trace, key, cfg))
+    }
+
+    /// Branch-and-bound evaluation of a whole bound-ordered batch —
+    /// `items` is a window of `(order, bound)` entries from
+    /// [`crate::analyze::rank_by_bound`], `incumbent` the best replayed
+    /// peak *before the window started*. Returns one slot per item, in
+    /// item order: `None` for pruned/quarantined candidates, `Some` for
+    /// evaluated ones.
+    ///
+    /// The fast path fuses every candidate that survives pruning and both
+    /// cache tiers into **one** [`replay_compiled_batch`] pass over the
+    /// compiled event stream. With projection on, candidates sharing a
+    /// [`ProjectedKey`] are first collapsed to one representative — the
+    /// earliest item of the window, which is also the earliest enumeration
+    /// order among them, because equal projected keys imply equal bounds
+    /// and the window is bound-ordered — and the others are served copies
+    /// ([`EngineCounters::projection_hits`]).
+    ///
+    /// Engines with budgets, fault plans, journals or quarantine fall back
+    /// to the per-candidate serial path: those features need per-candidate
+    /// control (deterministic step budgets, typed panic attribution,
+    /// journalling at replay granularity) that a fused loop cannot give.
+    /// If the fused kernel itself panics, the window is redone serially so
+    /// the panic is attributed to its owner as a typed
+    /// [`Error::CandidatePanicked`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager construction and replay failures of candidates
+    /// that were *not* pruned.
+    pub fn evaluate_bounded_batch(
+        &self,
+        trace: &Trace,
+        key: TraceKey,
+        configs: &[DmConfig],
+        items: &[(usize, usize)],
+        incumbent: Option<Incumbent>,
+    ) -> Result<Vec<Option<Evaluation>>> {
+        let mut out: Vec<Option<Evaluation>> = (0..items.len()).map(|_| None).collect();
+        let mut survivors: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, &(order, bound)) in items.iter().enumerate() {
+            let cfg = &configs[order];
+            if crate::analyze::prune_reason(cfg).is_some() {
+                self.statically_pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if let Some(inc) = incumbent {
+                if bound > inc.peak || (bound == inc.peak && order > inc.order) {
+                    self.bound_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            survivors.push(i);
+        }
+        let healthy = !self.budget.is_bounded()
+            && self.fault_plan.is_none()
+            && self.journal.is_none()
+            && !self.quarantine;
+        if !healthy {
+            for &i in &survivors {
+                let cfg = &configs[items[i].0];
+                out[i] = if self.projection {
+                    self.quarantine_or_raise(self.evaluate_projected(trace, key, cfg))?
+                } else {
+                    self.quarantine_or_raise(self.evaluate_one(trace, key, cfg))?
+                };
+            }
+            return Ok(out);
+        }
+        // Serve projected-cache hits; group the misses by ProjectedKey so
+        // each behavioral equivalence class replays exactly once. The
+        // first member of a group (earliest item index) is its
+        // representative.
+        let projection = self.projection.then(|| self.projection_for(key, trace));
+        let mut groups: Vec<(Option<ProjectedKey>, Vec<usize>)> = Vec::new();
+        let mut group_of: HashMap<ProjectedKey, usize> = HashMap::new();
+        for &i in &survivors {
+            let cfg = &configs[items[i].0];
+            let Some(projection) = &projection else {
+                groups.push((None, vec![i]));
+                continue;
+            };
+            let pkey = ProjectedKey::of(cfg, projection);
+            if let Some(mut stats) = self.cache.get_projected(key, &pkey) {
+                self.projection_hits.fetch_add(1, Ordering::Relaxed);
+                if stats.manager.as_ref() != cfg.name {
+                    stats.manager = Arc::from(cfg.name.as_str());
+                }
+                #[cfg(debug_assertions)]
+                self.shadow_oracle_check(trace, key, cfg, &stats);
+                out[i] = Some(Evaluation {
+                    stats,
+                    cache_hit: true,
+                    projected: true,
+                });
+                continue;
+            }
+            match group_of.get(&pkey) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    group_of.insert(pkey.clone(), groups.len());
+                    groups.push((Some(pkey), vec![i]));
+                }
+            }
+        }
+        // Representatives already known structurally (or via the journal)
+        // are served through the ordinary path; the rest go to the fused
+        // kernel.
+        let mut fused: Vec<usize> = Vec::new();
+        for (g, (_, members)) in groups.iter().enumerate() {
+            let cfg = &configs[items[members[0]].0];
+            if self.cache.get_keyed(key, cfg).is_some() {
+                out[members[0]] = Some(self.evaluate_one(trace, key, cfg)?);
+            } else {
+                fused.push(g);
+            }
+        }
+        if !fused.is_empty() {
+            let compiled = self.compiled_for(key, trace);
+            let mut managers = Vec::with_capacity(fused.len());
+            for &g in &fused {
+                managers.push(PolicyAllocator::new(configs[items[groups[g].1[0]].0].clone())?);
+            }
+            let replayed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                BATCH_SCRATCH.with(|s| {
+                    replay_compiled_batch(&compiled, &mut managers, &mut s.borrow_mut())
+                })
+            }));
+            match replayed {
+                Ok(results) => {
+                    for (&g, result) in fused.iter().zip(results) {
+                        let rep = groups[g].1[0];
+                        let cfg = &configs[items[rep].0];
+                        let stats = result?;
+                        self.evaluations.fetch_add(1, Ordering::Relaxed);
+                        self.replays.fetch_add(1, Ordering::Relaxed);
+                        self.cache.insert_keyed(key, cfg, stats.clone());
+                        out[rep] = Some(Evaluation {
+                            stats,
+                            cache_hit: false,
+                            projected: false,
+                        });
+                    }
+                }
+                Err(_) => {
+                    // Some candidate panicked inside the fused pass, taking
+                    // the whole window down before any counter or cache was
+                    // touched. Redo the window serially: the serial path's
+                    // catch_unwind attributes the panic to its owner as a
+                    // typed error.
+                    for &g in &fused {
+                        let rep = groups[g].1[0];
+                        out[rep] = Some(self.evaluate_one(trace, key, &configs[items[rep].0])?);
+                    }
+                }
+            }
+        }
+        // Publish each representative's stats to the projection tier and
+        // serve the other members of its equivalence class.
+        for (pkey, members) in groups {
+            let Some(pkey) = pkey else { continue };
+            let Some(rep_eval) = out[members[0]].as_ref() else {
+                continue;
+            };
+            let rep_stats = rep_eval.stats.clone();
+            self.cache.insert_projected(key, pkey, rep_stats.clone());
+            for &m in &members[1..] {
+                let cfg = &configs[items[m].0];
+                let mut stats = rep_stats.clone();
+                if stats.manager.as_ref() != cfg.name {
+                    stats.manager = Arc::from(cfg.name.as_str());
+                }
+                #[cfg(debug_assertions)]
+                self.shadow_oracle_check(trace, key, cfg, &stats);
+                self.projection_hits.fetch_add(1, Ordering::Relaxed);
+                out[m] = Some(Evaluation {
+                    stats,
+                    cache_hit: true,
+                    projected: true,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The sweep path with projection on: projected-cache lookup first,
+    /// then the ordinary structural path, publishing the fresh result to
+    /// the projection tier so behaviorally-identical later candidates hit.
+    fn evaluate_projected(&self, trace: &Trace, key: TraceKey, cfg: &DmConfig) -> Result<Evaluation> {
+        let projection = self.projection_for(key, trace);
+        let pkey = ProjectedKey::of(cfg, &projection);
+        if let Some(mut stats) = self.cache.get_projected(key, &pkey) {
+            self.projection_hits.fetch_add(1, Ordering::Relaxed);
+            if stats.manager.as_ref() != cfg.name {
+                stats.manager = Arc::from(cfg.name.as_str());
+            }
+            #[cfg(debug_assertions)]
+            self.shadow_oracle_check(trace, key, cfg, &stats);
+            return Ok(Evaluation {
+                stats,
+                cache_hit: true,
+                projected: true,
+            });
+        }
+        let eval = self.evaluate_one(trace, key, cfg)?;
+        self.cache.insert_projected(key, pkey, eval.stats.clone());
+        Ok(eval)
+    }
+
+    /// The projection soundness oracle (debug builds only): any stats
+    /// served off a [`ProjectedKey`] match must be **bit-identical** to a
+    /// fresh, uncounted replay of the candidate itself. A failure here is
+    /// a hole in a [`ProjectedKey::of`] canonicalization rule.
+    #[cfg(debug_assertions)]
+    fn shadow_oracle_check(
+        &self,
+        trace: &Trace,
+        key: TraceKey,
+        cfg: &DmConfig,
+        served: &FootprintStats,
+    ) {
+        let compiled = self.compiled_for(key, trace);
+        let mut mgr = PolicyAllocator::new(cfg.clone())
+            .expect("shadow oracle: projected candidate must construct");
+        let mut scratch = ReplayScratch::new();
+        let mut fresh = replay_compiled_with(&compiled, &mut mgr, &mut scratch)
+            .expect("shadow oracle: projected candidate must replay");
+        if fresh.manager.as_ref() != cfg.name {
+            fresh.manager = Arc::from(cfg.name.as_str());
+        }
+        assert_eq!(
+            &fresh, served,
+            "projection oracle violated for '{}': served stats differ from a fresh replay",
+            cfg.name
+        );
     }
 
     /// The sweep entry points' failure policy. In quarantine mode a
@@ -492,6 +820,7 @@ impl ExplorationEngine {
             return Ok(Evaluation {
                 stats,
                 cache_hit: true,
+                projected: false,
             });
         }
         let fingerprint = cfg.fingerprint();
@@ -506,6 +835,7 @@ impl ExplorationEngine {
                 return Ok(Evaluation {
                     stats,
                     cache_hit: true,
+                    projected: false,
                 });
             }
         }
@@ -553,7 +883,26 @@ impl ExplorationEngine {
         Ok(Evaluation {
             stats,
             cache_hit: false,
+            projected: false,
         })
+    }
+
+    /// The trace-conditioned projection of `trace`, derived on first
+    /// sight; same lock discipline as [`ExplorationEngine::compiled_for`]
+    /// (the O(events) `TraceFacts` pass runs outside the table lock).
+    fn projection_for(&self, key: TraceKey, trace: &Trace) -> Arc<TraceProjection> {
+        if let Some(hit) = self
+            .projections
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
+            return Arc::clone(hit);
+        }
+        let facts = crate::analyze::TraceFacts::of(trace);
+        let fresh = Arc::new(TraceProjection::of(&facts));
+        let mut table = self.projections.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(table.entry(key).or_insert(fresh))
     }
 
     /// The compiled form of `trace`, compiling on first sight. Shared by
@@ -596,6 +945,10 @@ impl ExplorationEngine {
     /// [`TraceKey`], avoiding a second O(n) fingerprint of the trace.
     pub fn release_compiled_keyed(&self, key: TraceKey) {
         self.compiled
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&key);
+        self.projections
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .remove(&key);
@@ -949,6 +1302,138 @@ mod tests {
             assert_eq!(a.stats, b.stats);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn projection_serves_behavioral_duplicates_without_replaying() {
+        // Alloc-only trace: the free-path machinery is dead, so Header vs
+        // Footer tags (same byte cost, different neighbour knowledge)
+        // project to the same key. The debug shadow oracle re-replays
+        // every served copy, so this test also exercises the soundness
+        // check.
+        let mut b = Trace::builder();
+        for i in 0..30usize {
+            b.alloc(32 + (i % 7) * 24);
+        }
+        let t = b.finish().unwrap();
+        let key = TraceKey::of(&t);
+        let engine = ExplorationEngine::serial().with_projection(true);
+        assert!(engine.projection());
+        let header = presets::drr_paper();
+        let footer = header
+            .clone()
+            .with_leaf(crate::space::trees::Leaf::A3(crate::space::trees::BlockTags::Footer));
+        let first = engine
+            .evaluate_bounded(&t, key, &header, 0, 0, None)
+            .unwrap()
+            .unwrap();
+        let second = engine
+            .evaluate_bounded(&t, key, &footer, 0, 1, None)
+            .unwrap()
+            .unwrap();
+        assert!(!first.projected);
+        assert!(second.projected && second.cache_hit);
+        assert_eq!(second.stats.manager.as_ref(), footer.name);
+        assert_eq!(first.stats.peak_footprint, second.stats.peak_footprint);
+        let c = engine.counters();
+        assert_eq!(c.replays, 1, "the duplicate must not replay");
+        assert_eq!(c.projection_hits, 1);
+        assert_eq!(c.evaluations, 1, "projection hits are not evaluations");
+        assert_eq!(engine.cache().projected_len(), 1);
+    }
+
+    #[test]
+    fn batched_window_matches_per_candidate_evaluation() {
+        let t = trace();
+        let key = TraceKey::of(&t);
+        let configs = presets::all();
+        let items: Vec<(usize, usize)> = (0..configs.len()).map(|i| (i, 0)).collect();
+        let batched_engine = ExplorationEngine::serial().with_batch(8);
+        assert_eq!(batched_engine.batch(), 8);
+        let batched = batched_engine
+            .evaluate_bounded_batch(&t, key, &configs, &items, None)
+            .unwrap();
+        let serial_engine = ExplorationEngine::serial();
+        for (i, got) in batched.iter().enumerate() {
+            let want = serial_engine
+                .evaluate_bounded(&t, key, &configs[i], 0, i, None)
+                .unwrap();
+            match (got, want) {
+                (Some(g), Some(w)) => assert_eq!(g.stats, w.stats, "{}", configs[i].name),
+                (None, None) => {}
+                other => panic!("slot {i} diverged: {other:?}"),
+            }
+        }
+        assert_eq!(
+            batched_engine.counters().replays,
+            serial_engine.counters().replays,
+            "same candidates must replay on both paths"
+        );
+    }
+
+    #[test]
+    fn batched_window_groups_projected_duplicates_onto_one_replay() {
+        let mut b = Trace::builder();
+        for i in 0..25usize {
+            b.alloc(48 + (i % 5) * 32);
+        }
+        let t = b.finish().unwrap();
+        let key = TraceKey::of(&t);
+        let header = presets::drr_paper();
+        let footer = header
+            .clone()
+            .with_leaf(crate::space::trees::Leaf::A3(crate::space::trees::BlockTags::Footer));
+        let configs = vec![header, footer, presets::lea_like()];
+        let items: Vec<(usize, usize)> = (0..configs.len()).map(|i| (i, 0)).collect();
+        let engine = ExplorationEngine::serial().with_projection(true).with_batch(4);
+        let out = engine
+            .evaluate_bounded_batch(&t, key, &configs, &items, None)
+            .unwrap();
+        assert!(!out[0].as_ref().unwrap().projected, "representative replays");
+        assert!(out[1].as_ref().unwrap().projected, "duplicate is served a copy");
+        assert_eq!(out[1].as_ref().unwrap().stats.manager.as_ref(), configs[1].name);
+        assert!(!out[2].as_ref().unwrap().projected, "distinct behavior replays");
+        let c = engine.counters();
+        assert_eq!(c.replays, 2);
+        assert_eq!(c.projection_hits, 1);
+        assert_eq!(
+            c.evaluations + c.projection_hits,
+            configs.len(),
+            "partition over the window"
+        );
+    }
+
+    #[test]
+    fn batched_window_prunes_and_faults_fall_back_per_candidate() {
+        let t = trace();
+        let key = TraceKey::of(&t);
+        let victim = presets::kingsley_like();
+        let configs = vec![presets::drr_paper(), victim.clone(), presets::lea_like()];
+        let items: Vec<(usize, usize)> = (0..configs.len()).map(|i| (i, 0)).collect();
+        // Quarantine + fault plan forces the serial fallback inside the
+        // batch entry point; the panicking victim becomes a counted skip.
+        let engine = ExplorationEngine::serial()
+            .with_batch(4)
+            .with_quarantine(true)
+            .with_fault_plan(FaultPlan::new().panic_candidate(victim.fingerprint()));
+        let out = engine
+            .evaluate_bounded_batch(&t, key, &configs, &items, None)
+            .unwrap();
+        assert!(out[0].is_some() && out[2].is_some());
+        assert!(out[1].is_none(), "the panicking candidate is quarantined");
+        let c = engine.counters();
+        assert_eq!(c.quarantined, 1);
+        assert_eq!(c.evaluations, 2);
+        // Bound pruning inside a window is counted exactly like the serial
+        // path.
+        let inc = Incumbent { peak: 0, order: 0 };
+        let pruned = ExplorationEngine::serial()
+            .with_batch(4);
+        let out = pruned
+            .evaluate_bounded_batch(&t, key, &configs, &[(1, usize::MAX), (2, usize::MAX)], Some(inc))
+            .unwrap();
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(pruned.counters().bound_pruned, 2);
     }
 
     #[test]

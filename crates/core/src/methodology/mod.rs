@@ -27,6 +27,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod engine;
 
+pub use cache::{ProjectedKey, TraceProjection};
 pub use checkpoint::CheckpointJournal;
 pub use engine::{BudgetSpec, EngineCounters, Evaluation, ExplorationEngine, Incumbent};
 
@@ -1239,7 +1240,15 @@ pub fn exhaustive_best(
 /// of which the first-seen strict-minimum fold would have kept; and the
 /// incumbent replacement rule reproduces that fold's tie-break exactly.
 /// The returned evaluation count is the number of candidates actually
-/// evaluated (replays + cache hits), i.e. enumerated minus pruned.
+/// evaluated (replays + cache hits + projection hits), i.e. enumerated
+/// minus pruned.
+///
+/// Engines with [`ExplorationEngine::set_batch`] > 1 sweep in fused
+/// rounds (see the round loop below); engines with
+/// [`ExplorationEngine::set_projection`] additionally collapse
+/// behaviorally-identical candidates to one replay per
+/// [`cache::ProjectedKey`] equivalence class. Both options preserve the
+/// bit-identical-winner guarantee.
 ///
 /// # Errors
 ///
@@ -1264,17 +1273,51 @@ pub fn exhaustive_best_with_engine(
     // enumeration index among peak ties.
     let mut best: Option<(usize, usize)> = None; // (peak, enum index)
     let mut evaluated = 0usize;
-    for &(order, bound) in &ranked {
-        let incumbent = best.map(|(peak, o)| engine::Incumbent { peak, order: o });
-        let Some(eval) =
-            engine.evaluate_bounded(trace, key, &configs[order], bound, order, incumbent)?
-        else {
-            continue;
-        };
-        evaluated += 1;
-        let peak = eval.stats.peak_footprint;
-        if best.is_none_or(|(bp, bo)| peak < bp || (peak == bp && order < bo)) {
-            best = Some((peak, order));
+    if engine.batch() > 1 {
+        // Fused rounds: `batch × jobs` ranked candidates per round, one
+        // bound-ordered window per worker, each window one fused
+        // multi-candidate replay. The incumbent is only refreshed between
+        // rounds — a *weaker* prune than the serial loop's per-candidate
+        // refresh, so every candidate the serial loop evaluates is also
+        // evaluated here (a superset), and folding the rounds' results in
+        // ranked order reproduces the serial incumbent evolution exactly:
+        // the winner is bit-identical, only `bound_pruned` can differ
+        // downward (compensated one-for-one by `evaluations` +
+        // `projection_hits`).
+        let window = engine.batch().saturating_mul(engine.jobs().max(1));
+        let mut at = 0usize;
+        while at < ranked.len() {
+            let round = &ranked[at..ranked.len().min(at + window)];
+            at += round.len();
+            let incumbent = best.map(|(peak, o)| engine::Incumbent { peak, order: o });
+            let chunks: Vec<&[(usize, usize)]> = round.chunks(engine.batch()).collect();
+            let results = engine.run_parallel(&chunks, |chunk| {
+                engine.evaluate_bounded_batch(trace, key, &configs, chunk, incumbent)
+            });
+            for (chunk, result) in chunks.iter().zip(results) {
+                for (&(order, _), eval) in chunk.iter().zip(result?) {
+                    let Some(eval) = eval else { continue };
+                    evaluated += 1;
+                    let peak = eval.stats.peak_footprint;
+                    if best.is_none_or(|(bp, bo)| peak < bp || (peak == bp && order < bo)) {
+                        best = Some((peak, order));
+                    }
+                }
+            }
+        }
+    } else {
+        for &(order, bound) in &ranked {
+            let incumbent = best.map(|(peak, o)| engine::Incumbent { peak, order: o });
+            let Some(eval) =
+                engine.evaluate_bounded(trace, key, &configs[order], bound, order, incumbent)?
+            else {
+                continue;
+            };
+            evaluated += 1;
+            let peak = eval.stats.peak_footprint;
+            if best.is_none_or(|(bp, bo)| peak < bp || (peak == bp && order < bo)) {
+                best = Some((peak, order));
+            }
         }
     }
     let (peak, order) =
@@ -1818,5 +1861,41 @@ mod tests {
         let mut m = PolicyAllocator::new(cfg).unwrap();
         let fs = replay(&t, &mut m).unwrap();
         assert_eq!(fs.peak_footprint, peak);
+    }
+
+    #[test]
+    fn projected_batched_sweep_matches_the_plain_engine_bit_for_bit() {
+        let t = fragmenting_trace();
+        let params = Methodology::new().seed_params(&Profile::of(&t));
+        let limit = Some(150);
+
+        let plain = ExplorationEngine::serial();
+        let (want_cfg, want_peak, _) =
+            exhaustive_best_with_engine(&t, params.clone(), limit, &plain).unwrap();
+
+        let fused = ExplorationEngine::serial()
+            .with_projection(true)
+            .with_batch(16);
+        let (got_cfg, got_peak, evaluated) =
+            exhaustive_best_with_engine(&t, params, limit, &fused).unwrap();
+
+        assert_eq!(got_cfg.fingerprint(), want_cfg.fingerprint());
+        assert_eq!(got_peak, want_peak);
+        let c = fused.counters();
+        assert_eq!(
+            evaluated,
+            c.evaluations + c.projection_hits,
+            "the returned count is every non-pruned candidate"
+        );
+        assert_eq!(
+            c.evaluations + c.projection_hits + c.statically_pruned + c.bound_pruned,
+            150,
+            "sweep partition invariant"
+        );
+        assert!(
+            c.replays < 150 - c.statically_pruned - c.bound_pruned
+                || c.projection_hits == 0,
+            "projection hits must come out of the replay budget"
+        );
     }
 }

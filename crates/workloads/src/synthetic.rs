@@ -167,6 +167,70 @@ pub fn large_churn_shards(
     })
 }
 
+/// One lifetime-closed adversarial window written into `b` (~`6 × pairs`
+/// events), crafted to defeat address-ordered fit policies:
+///
+/// 1. a dense run of `2 × pairs` equal small blocks is laid down;
+/// 2. every *other* block is freed — the holes are never adjacent, so no
+///    amount of coalescing can rebuild a larger block from them;
+/// 3. `pairs` requests arrive at just over twice the hole size — FirstFit
+///    and BestFit walk the whole free list, fit nothing, and must grow
+///    the heap while the hole bytes sit stranded;
+/// 4. the window drains completely (shard-friendly).
+///
+/// Both entry points share this body, so [`adversarial_fragmentation`]
+/// and [`adversarial_fragmentation_shards`] carry byte-identical
+/// size/order behaviour (only object ids differ).
+fn adversarial_window(rng: &mut StdRng, b: &mut TraceBuilder, pairs: usize) {
+    let small = 24 + rng.gen_range(0..6usize) * 8;
+    let run: Vec<u64> = (0..pairs.max(1) * 2).map(|_| b.alloc(small)).collect();
+    let mut survivors = Vec::with_capacity(pairs.max(1));
+    for (i, id) in run.into_iter().enumerate() {
+        if i % 2 == 0 {
+            b.free(id);
+        } else {
+            survivors.push(id);
+        }
+    }
+    let big: Vec<u64> = (0..pairs.max(1)).map(|_| b.alloc(small * 2 + 8)).collect();
+    for id in survivors {
+        b.free(id);
+    }
+    for id in big {
+        b.free(id);
+    }
+}
+
+/// An adversarial fragmentation trace of `windows` lifetime-closed
+/// [`adversarial_window`]s, materialised whole: the alloc/free sequence
+/// is crafted so FirstFit/BestFit strand half of every window's small
+/// bytes as unusable holes at the moment demand peaks. Deterministic per
+/// seed; prefer [`adversarial_fragmentation_shards`] for streaming.
+pub fn adversarial_fragmentation(seed: u64, windows: usize, pairs_per_window: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Trace::builder();
+    for _ in 0..windows.max(1) {
+        adversarial_window(&mut rng, &mut b, pairs_per_window);
+    }
+    b.finish().expect("generator produces valid traces")
+}
+
+/// The same behaviour as [`adversarial_fragmentation`], yielded as a
+/// stream of lifetime-closed [`TraceShard`]s — one window of events
+/// resident at a time, deterministic per seed.
+pub fn adversarial_fragmentation_shards(
+    seed: u64,
+    windows: usize,
+    pairs_per_window: usize,
+) -> impl Iterator<Item = TraceShard> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..windows.max(1)).map(move |i| {
+        let mut b = Trace::builder();
+        adversarial_window(&mut rng, &mut b, pairs_per_window);
+        TraceShard::closed(i, b.finish().expect("generator produces valid traces"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +314,65 @@ mod tests {
         }
         let c: Vec<TraceShard> = large_churn_shards(6, 2, 120).collect();
         assert_ne!(a[0].trace, c[0].trace);
+    }
+
+    #[test]
+    fn adversarial_fragmentation_strands_holes_under_fit_policies() {
+        use dmm_core::manager::PolicyAllocator;
+        use dmm_core::space::presets;
+        use dmm_core::trace::replay;
+
+        let t = adversarial_fragmentation(13, 2, 120);
+        assert_eq!(t.alloc_count(), t.free_count(), "windows drain fully");
+        // A benign twin: the identical multiset of requests, but the small
+        // blocks are freed only *after* the large run — no holes exist
+        // when the large requests arrive.
+        let mut b = Trace::builder();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..2 {
+            let small = 24 + rng.gen_range(0..6usize) * 8;
+            let run: Vec<u64> = (0..240).map(|_| b.alloc(small)).collect();
+            let big: Vec<u64> = (0..120).map(|_| b.alloc(small * 2 + 8)).collect();
+            for id in run.into_iter().chain(big) {
+                b.free(id);
+            }
+        }
+        let benign = b.finish().unwrap();
+        for cfg in [presets::lea_like(), presets::kingsley_like()] {
+            let adv = replay(&t, &mut PolicyAllocator::new(cfg.clone()).unwrap()).unwrap();
+            let nice =
+                replay(&benign, &mut PolicyAllocator::new(cfg.clone()).unwrap()).unwrap();
+            let adv_ratio = adv.peak_footprint as f64 / t.peak_live_requested() as f64;
+            let nice_ratio =
+                nice.peak_footprint as f64 / benign.peak_live_requested() as f64;
+            assert!(
+                adv_ratio > nice_ratio,
+                "{}: adversarial order must fragment worse than the benign \
+                 order of the same requests ({adv_ratio:.3} vs {nice_ratio:.3})",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_fragmentation_shards_match_the_whole_trace() {
+        let whole = adversarial_fragmentation(21, 3, 80);
+        let shards: Vec<TraceShard> = adversarial_fragmentation_shards(21, 3, 80).collect();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(
+            shards.iter().map(|s| s.trace.len()).sum::<usize>(),
+            whole.len()
+        );
+        assert!(shards.iter().all(|s| s.boundary.is_closed()));
+        // Determinism per seed.
+        assert_eq!(
+            adversarial_fragmentation(21, 3, 80),
+            adversarial_fragmentation(21, 3, 80)
+        );
+        assert_ne!(
+            adversarial_fragmentation(21, 3, 80),
+            adversarial_fragmentation(22, 3, 80)
+        );
     }
 
     #[test]

@@ -696,3 +696,128 @@ proptest! {
         prop_assert_eq!(Some(composed.stats), manual);
     }
 }
+
+// Trace-conditioned config projection: the soundness contract behind the
+// projected replay cache.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Equal [`ProjectedKey`]s imply bit-identical replays. The projection
+    /// tier serves one candidate's stats for a whole equivalence class, so
+    /// this is the property that makes it a cache rather than an
+    /// approximation: for random flat, phased and re-entrant traces, any
+    /// two configurations the projection maps to the same key must replay
+    /// to the same `FootprintStats` (names normalised — the name is the
+    /// one field the projection deliberately ignores).
+    #[test]
+    fn equal_projected_keys_imply_bit_identical_replays(
+        flat in trace_strategy(80, 2048),
+        phased in phased_trace_strategy(20, 1024),
+        reentrant in reentrant_phase_strategy(6, 1024),
+    ) {
+        use dmm::core::analyze::TraceFacts;
+        use dmm::core::methodology::{ProjectedKey, TraceProjection};
+        use dmm::core::space::trees::{BlockTags, CoalesceMaxSizes, Leaf};
+        use std::collections::HashMap;
+        use std::sync::Arc;
+
+        // Candidate pool: the presets plus mutations that differ only in
+        // arms the projection may canonicalise away on a given trace
+        // (boundary-tag flavour, unreachable caps/thresholds/limits).
+        let mut candidates = presets::all();
+        for base in presets::all() {
+            let mut c = base.clone();
+            c.name = format!("{} +footer", c.name);
+            c = c.with_leaf(Leaf::A3(BlockTags::Footer));
+            if c.validate().is_ok() {
+                candidates.push(c);
+            }
+            let mut c = base.clone();
+            c.name = format!("{} +huge-cap", c.name);
+            c = c.with_leaf(Leaf::D1(CoalesceMaxSizes::Capped));
+            c.params.coalesce_cap = 1 << 40;
+            if c.validate().is_ok() {
+                candidates.push(c);
+            }
+            let mut c = base.clone();
+            c.name = format!("{} +huge-trim", c.name);
+            c.params.trim_threshold = Some(1 << 40);
+            if c.validate().is_ok() {
+                candidates.push(c);
+            }
+            let mut c = base.clone();
+            c.name = format!("{} +huge-limit", c.name);
+            c.params.arena_limit = Some(1 << 40);
+            if c.validate().is_ok() {
+                candidates.push(c);
+            }
+        }
+
+        for trace in [&flat, &phased, &reentrant] {
+            let projection = TraceProjection::of(&TraceFacts::of(trace));
+            let compiled = CompiledTrace::compile(trace);
+            let mut by_key: HashMap<ProjectedKey, dmm::core::metrics::FootprintStats> =
+                HashMap::new();
+            for cfg in &candidates {
+                let key = ProjectedKey::of(cfg, &projection);
+                let mut m = PolicyAllocator::new(cfg.clone()).expect("valid");
+                let mut fs = replay_compiled(&compiled, &mut m).expect("replay");
+                fs.manager = Arc::from("normalised");
+                match by_key.get(&key) {
+                    None => {
+                        by_key.insert(key, fs);
+                    }
+                    Some(rep) => prop_assert_eq!(
+                        rep, &fs,
+                        "'{}' shares a projected key with an earlier candidate \
+                         but replays differently", cfg.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
+// Batched + projected exhaustive sweeps stay bit-identical to the serial
+// branch-and-bound engine on random traces (heavier: few cases).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The fused round loop and the projection tier never change the
+    /// designed winner: same configuration fingerprint, same peak, and the
+    /// engine's buckets still partition the enumerated prefix.
+    #[test]
+    fn batched_projected_sweep_matches_serial_on_random_traces(
+        trace in trace_strategy(60, 1500),
+    ) {
+        use dmm::core::methodology::{exhaustive_best_with_engine, ExplorationEngine};
+
+        let limit = Some(120);
+        let serial = ExplorationEngine::serial();
+        let (scfg, speak, sevald) =
+            exhaustive_best_with_engine(&trace, Params::default(), limit, &serial)
+                .expect("serial sweep");
+
+        let batched = ExplorationEngine::serial()
+            .with_projection(true)
+            .with_batch(8);
+        let (bcfg, bpeak, bevald) =
+            exhaustive_best_with_engine(&trace, Params::default(), limit, &batched)
+                .expect("batched sweep");
+
+        prop_assert_eq!(scfg.summary(), bcfg.summary());
+        prop_assert_eq!(speak, bpeak);
+        let c = batched.counters();
+        prop_assert_eq!(bevald, c.evaluations + c.projection_hits);
+        prop_assert_eq!(
+            c.evaluations + c.projection_hits + c.statically_pruned + c.bound_pruned,
+            limit.unwrap(),
+            "batched buckets must partition the enumerated prefix"
+        );
+        // The weaker per-round incumbent can only *shrink* bound pruning,
+        // never grow it past the serial sweep's.
+        let sc = serial.counters();
+        prop_assert!(c.bound_pruned <= sc.bound_pruned);
+        prop_assert_eq!(sevald, sc.evaluations + sc.projection_hits);
+    }
+}
